@@ -1,0 +1,110 @@
+// Command appgen generates a synthetic fault-tolerant design problem (an
+// application, a platform with hardened node versions, and a reliability
+// goal) using the paper's experimental parameterization, and writes it as
+// a JSON specification for cmd/ftopt.
+//
+// Usage:
+//
+//	appgen -seed 1 -procs 20 -ser 1e-11 -hpd 25 [-nodes 4] [-levels 5]
+//	       [-out problem.json]
+//
+// With -paper fig1|fig3|cc, the built-in examples from the paper are
+// emitted instead of a synthetic instance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/paper"
+	"repro/internal/specio"
+	"repro/internal/taskgen"
+	"repro/internal/tgff"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "appgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("appgen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "generator seed")
+	procs := fs.Int("procs", 20, "number of processes (paper: 20 or 40)")
+	ser := fs.Float64("ser", 1e-11, "soft error rate per clock cycle at minimum hardening")
+	hpd := fs.Float64("hpd", 25, "hardening performance degradation in percent")
+	nodes := fs.Int("nodes", 4, "number of available node types")
+	levels := fs.Int("levels", 5, "hardening levels per node")
+	out := fs.String("out", "", "output path (default stdout)")
+	builtin := fs.String("paper", "", "emit a built-in example instead: fig1, fig3 or cc")
+	asTGFF := fs.Bool("tgff", false, "emit the task graphs in TGFF format instead of a JSON spec")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec *specio.Spec
+	switch *builtin {
+	case "":
+		cfg := taskgen.DefaultConfig(*seed, *procs, *ser, *hpd)
+		cfg.NumNodeTypes = *nodes
+		cfg.NumLevels = *levels
+		inst, err := taskgen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		spec = &specio.Spec{
+			Application: inst.App,
+			Platform:    inst.Platform,
+			Gamma:       inst.Goal.Gamma,
+			TauMs:       inst.Goal.Tau,
+		}
+	case "fig1":
+		spec = &specio.Spec{
+			Application: paper.Fig1Application(),
+			Platform:    paper.Fig1Platform(),
+			Gamma:       paper.Fig1Gamma,
+		}
+	case "fig3":
+		spec = &specio.Spec{
+			Application: paper.Fig3Application(),
+			Platform:    paper.Fig3Platform(),
+			Gamma:       paper.Fig3Gamma,
+		}
+	case "cc":
+		inst, err := cc.Instance()
+		if err != nil {
+			return err
+		}
+		spec = &specio.Spec{
+			Application: inst.App,
+			Platform:    inst.Platform,
+			Gamma:       inst.Goal.Gamma,
+			TauMs:       inst.Goal.Tau,
+		}
+	default:
+		return fmt.Errorf("unknown built-in example %q", *builtin)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *asTGFF {
+		doc, err := tgff.FromApplication(spec.Application)
+		if err != nil {
+			return err
+		}
+		return doc.Write(w)
+	}
+	return specio.Write(w, spec)
+}

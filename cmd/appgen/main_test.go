@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/specio"
+)
+
+func TestGenerateSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "2", "-procs", "20", "-ser", "1e-11", "-hpd", "25"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := specio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Application.NumProcesses() != 20 {
+		t.Errorf("%d processes", spec.Application.NumProcesses())
+	}
+	if len(spec.Platform.Nodes) != 4 {
+		t.Errorf("%d nodes", len(spec.Platform.Nodes))
+	}
+}
+
+func TestBuiltinExamples(t *testing.T) {
+	for _, name := range []string{"fig1", "fig3", "cc"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-paper", name}, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := specio.Read(&buf); err != nil {
+			t.Fatalf("%s: emitted spec invalid: %v", name, err)
+		}
+	}
+}
+
+func TestOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-paper", "fig3", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout should be empty when -out is set")
+	}
+}
+
+func TestUnknownBuiltin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-paper", "nope"}, &buf); err == nil {
+		t.Error("want error for unknown built-in")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-procs", "0"}, &buf); err == nil {
+		t.Error("want error for zero processes")
+	}
+}
+
+func TestTGFFOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-paper", "fig1", "-tgff"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"@TASK_GRAPH 0 {", "TASK P1", "ARC m1", "HARD_DEADLINE", "PERIOD 360"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TGFF output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Command ftopt runs the fault-tolerant design optimization on a JSON
+// problem specification (see cmd/appgen for producing one) and prints the
+// selected architecture, hardening levels, process mapping, re-execution
+// counts and static schedule.
+//
+// Usage:
+//
+//	ftopt -spec problem.json [-strategy OPT|MIN|MAX] [-arc 20]
+//	      [-slack shared|per-process] [-schedule]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/appmodel"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/execsim"
+	"repro/internal/gantt"
+	"repro/internal/policyopt"
+	"repro/internal/sched"
+	"repro/internal/specio"
+	"repro/internal/ttp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ftopt", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to the JSON problem specification (required)")
+	strategy := fs.String("strategy", "OPT", "design strategy: OPT, MIN or MAX")
+	arc := fs.Float64("arc", 0, "maximum architecture cost (0 = unbounded)")
+	slack := fs.String("slack", "shared", "recovery slack model: shared or per-process")
+	showSchedule := fs.Bool("schedule", false, "print the full static schedule")
+	showGantt := fs.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+	dotPath := fs.String("dot", "", "write the mapped task graph as Graphviz DOT to this path")
+	simulate := fs.Int("simulate", 0, "run this many simulated iterations with adversarial in-budget faults")
+	simSeed := fs.Int64("simseed", 1, "fault-injection seed for -simulate")
+	policies := fs.Bool("policies", false, "additionally optimize per-process FT policies (checkpointing/replication) on the final design")
+	chiAlpha := fs.Float64("chialpha", 1, "checkpoint overheads χ=α in ms for -policies")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spec, err := specio.Read(f)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{Goal: spec.Goal(), MaxCost: *arc}
+	switch *strategy {
+	case "OPT":
+		opts.Strategy = core.OPT
+	case "MIN":
+		opts.Strategy = core.MIN
+	case "MAX":
+		opts.Strategy = core.MAX
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	switch *slack {
+	case "shared":
+		opts.Model = sched.SlackShared
+	case "per-process":
+		opts.Model = sched.SlackPerProcess
+	default:
+		return fmt.Errorf("unknown slack model %q", *slack)
+	}
+
+	res, err := core.Run(spec.Application, spec.Platform, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "application: %s (%d processes, %d graphs)\n",
+		spec.Application.Name, spec.Application.NumProcesses(), len(spec.Application.Graphs))
+	fmt.Fprintf(w, "strategy:    %s  (reliability goal 1-%.3g per %.0f ms)\n",
+		opts.Strategy, spec.Goal().Gamma, spec.Goal().Tau)
+	fmt.Fprintf(w, "explored:    %d architectures, %d redundancy evaluations\n",
+		res.ArchsExplored, res.Evaluations)
+	if !res.Feasible {
+		fmt.Fprintln(w, "result:      INFEASIBLE — no architecture meets the deadline, reliability goal and cost bound")
+		return nil
+	}
+	fmt.Fprintf(w, "result:      feasible, cost %g\n", res.Cost)
+	fmt.Fprintf(w, "architecture: %s\n", res.Arch)
+	for j, node := range res.Arch.Nodes {
+		var procs []string
+		for pid, m := range res.Mapping {
+			if m == j {
+				procs = append(procs, spec.Application.Procs[pid].Name)
+			}
+		}
+		fmt.Fprintf(w, "  %s^%d: k=%d  processes: %v\n", node.Name, res.Arch.Levels[j], res.Ks[j], procs)
+	}
+	fmt.Fprintf(w, "worst-case schedule length: %.3f ms\n", res.Schedule.Length)
+	if *showSchedule {
+		printSchedule(w, spec, res)
+	}
+	if *showGantt {
+		var deadline float64
+		for _, g := range spec.Application.Graphs {
+			if g.Deadline > deadline {
+				deadline = g.Deadline
+			}
+		}
+		chart := &gantt.Chart{
+			App:      spec.Application,
+			Arch:     res.Arch,
+			Mapping:  res.Mapping,
+			Schedule: res.Schedule,
+			Deadline: deadline,
+		}
+		if err := chart.Render(w); err != nil {
+			return err
+		}
+	}
+	if *dotPath != "" {
+		wcets := make([]float64, spec.Application.NumProcesses())
+		for pid := range wcets {
+			wcets[pid] = res.Arch.Version(res.Mapping[pid]).WCET[pid]
+		}
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dot.Write(f, spec.Application, dot.Options{
+			Arch:    res.Arch,
+			Mapping: res.Mapping,
+			WCET:    wcets,
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "task graph written to %s\n", *dotPath)
+	}
+	if *policies {
+		var bus sched.Bus
+		if spec.Platform.Bus.SlotLen > 0 {
+			bus = ttp.NewBus(len(res.Arch.Nodes), spec.Platform.Bus.SlotLen)
+		}
+		sol, err := policyopt.Optimize(policyopt.Problem{
+			App:       spec.Application,
+			Arch:      res.Arch,
+			Mapping:   res.Mapping,
+			Goal:      spec.Goal(),
+			Overheads: checkpoint.Overheads{Chi: *chiAlpha, Alpha: *chiAlpha},
+			Bus:       bus,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "policy assignment (chi=alpha=%g ms): worst case %.3f ms (re-execution baseline %.3f ms)\n",
+			*chiAlpha, sol.Schedule.Length, res.Schedule.Length)
+		for pid, pol := range sol.Assignment.Policies {
+			detail := ""
+			switch pol {
+			case policyopt.Checkpointing:
+				if sol.Plan.Segments[pid] > 1 {
+					detail = fmt.Sprintf(" (%d segments)", sol.Plan.Segments[pid])
+				} else {
+					detail = " (1 segment = plain re-execution)"
+				}
+			case policyopt.Replication:
+				detail = fmt.Sprintf(" (replicas on %v)", sol.Assignment.Replicas[appmodel.ProcID(pid)])
+			}
+			fmt.Fprintf(w, "  %-24s %s%s\n", spec.Application.Procs[pid].Name, pol, detail)
+		}
+	}
+	if *simulate > 0 {
+		var bus sched.Bus
+		if spec.Platform.Bus.SlotLen > 0 {
+			bus = ttp.NewBus(len(res.Arch.Nodes), spec.Platform.Bus.SlotLen)
+		}
+		campaign := execsim.Campaign{
+			Input: execsim.Input{
+				App:     spec.Application,
+				Arch:    res.Arch,
+				Mapping: res.Mapping,
+				Ks:      res.Ks,
+				Bus:     bus,
+				Static:  res.Schedule,
+			},
+			Iterations:   *simulate,
+			Seed:         *simSeed,
+			WithinBudget: true,
+		}
+		cr, err := campaign.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "simulation (%d adversarial in-budget fault patterns):\n", cr.Iterations)
+		fmt.Fprintf(w, "  max makespan:  %.3f ms (analyzed bound %.3f ms)\n", cr.MaxMakespan, res.Schedule.Length)
+		fmt.Fprintf(w, "  mean makespan: %.3f ms\n", cr.MeanMakespan)
+		fmt.Fprintf(w, "  deadline misses: %d\n", cr.DeadlineMisses)
+	}
+	return nil
+}
+
+func printSchedule(w io.Writer, spec *specio.Spec, res *core.Result) {
+	fmt.Fprintln(w, "schedule (fault-free start/finish, worst-case finish):")
+	type row struct {
+		start float64
+		line  string
+	}
+	var rows []row
+	for pid := range spec.Application.Procs {
+		rows = append(rows, row{
+			start: res.Schedule.Start[pid],
+			line: fmt.Sprintf("  %-24s on %-4s  [%8.3f, %8.3f]  worst %8.3f",
+				spec.Application.Procs[pid].Name,
+				res.Arch.Nodes[res.Mapping[pid]].Name,
+				res.Schedule.Start[pid], res.Schedule.Finish[pid], res.Schedule.WorstFinish[pid]),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].start < rows[j].start })
+	for _, r := range rows {
+		fmt.Fprintln(w, r.line)
+	}
+	for _, e := range spec.Application.Edges {
+		if s := res.Schedule.MsgStart[e.ID]; s == s { // not NaN
+			fmt.Fprintf(w, "  bus %-20s [%8.3f, %8.3f]\n", e.Name, s, res.Schedule.MsgEnd[e.ID])
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/specio"
+)
+
+// writeFig3Spec writes the Fig. 3 problem to a temp file.
+func writeFig3Spec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig3.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec := &specio.Spec{
+		Application: paper.Fig3Application(),
+		Platform:    paper.Fig3Platform(),
+		Gamma:       paper.Fig3Gamma,
+	}
+	if err := specio.Write(f, spec); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOptimizeFig3(t *testing.T) {
+	path := writeFig3Spec(t)
+	var sb strings.Builder
+	if err := run([]string{"-spec", path, "-schedule"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"feasible, cost 20", "N1^2", "k=2", "340.000 ms", "schedule"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	path := writeFig3Spec(t)
+	var sb strings.Builder
+	if err := run([]string{"-spec", path, "-strategy", "MIN"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "INFEASIBLE") {
+		t.Errorf("MIN on Fig. 3 should be infeasible:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-spec", path, "-strategy", "MAX"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "feasible, cost 40") {
+		t.Errorf("MAX on Fig. 3 should cost 40:\n%s", sb.String())
+	}
+}
+
+func TestSlackModelFlag(t *testing.T) {
+	path := writeFig3Spec(t)
+	var sb strings.Builder
+	if err := run([]string{"-spec", path, "-slack", "per-process"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Monoprocessor, single process: per-process equals shared here.
+	if !strings.Contains(sb.String(), "feasible") {
+		t.Errorf("per-process slack run failed:\n%s", sb.String())
+	}
+}
+
+func TestArcBound(t *testing.T) {
+	path := writeFig3Spec(t)
+	var sb strings.Builder
+	if err := run([]string{"-spec", path, "-arc", "15"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "INFEASIBLE") {
+		t.Errorf("budget 15 below optimum 20 should be infeasible:\n%s", sb.String())
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	path := writeFig3Spec(t)
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("want error without -spec")
+	}
+	if err := run([]string{"-spec", "/nonexistent"}, &sb); err == nil {
+		t.Error("want error for missing file")
+	}
+	if err := run([]string{"-spec", path, "-strategy", "BOGUS"}, &sb); err == nil {
+		t.Error("want error for unknown strategy")
+	}
+	if err := run([]string{"-spec", path, "-slack", "BOGUS"}, &sb); err == nil {
+		t.Error("want error for unknown slack model")
+	}
+}
+
+func TestGanttFlag(t *testing.T) {
+	path := writeFig3Spec(t)
+	var sb strings.Builder
+	if err := run([]string{"-spec", path, "-gantt"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "N1^2") || !strings.Contains(out, "0---") {
+		t.Errorf("missing Gantt chart:\n%s", out)
+	}
+}
+
+func TestDotFlag(t *testing.T) {
+	path := writeFig3Spec(t)
+	out := filepath.Join(t.TempDir(), "g.dot")
+	var sb strings.Builder
+	if err := run([]string{"-spec", path, "-dot", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Errorf("DOT file malformed:\n%s", data)
+	}
+}
+
+func TestSimulateFlag(t *testing.T) {
+	path := writeFig3Spec(t)
+	var sb strings.Builder
+	if err := run([]string{"-spec", path, "-simulate", "50"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "simulation (50 adversarial") {
+		t.Errorf("missing simulation report:\n%s", out)
+	}
+	// Monoprocessor Fig. 3: the shared-slack bound is sound, so no
+	// in-budget pattern may miss the deadline.
+	if !strings.Contains(out, "deadline misses: 0") {
+		t.Errorf("monoprocessor simulation missed deadlines:\n%s", out)
+	}
+}
+
+func TestPoliciesFlag(t *testing.T) {
+	path := writeFig3Spec(t)
+	var sb strings.Builder
+	if err := run([]string{"-spec", path, "-policies"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "policy assignment") {
+		t.Errorf("missing policy report:\n%s", out)
+	}
+}

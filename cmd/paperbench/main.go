@@ -1,0 +1,222 @@
+// Command paperbench regenerates the experimental evaluation of the paper
+// (Section 7): the acceptance-rate figures 6a–6d, the cruise-controller
+// case study, and the ablation studies of this reproduction.
+//
+// Usage:
+//
+//	paperbench -fig 6a            # one figure
+//	paperbench -fig all           # everything
+//	paperbench -fig 6b -apps 150  # full paper scale (slow)
+//	paperbench -fig cc -md        # Markdown tables
+//
+// Figures: 6a–6d (the paper's acceptance sweeps), cc (cruise controller),
+// policies (re-execution vs checkpointing vs replication), simulation
+// (execution replay vs static bounds), runtime (OPT wall-clock), ablation
+// (slack sharing, tabu mapping, gradient guidance).
+//
+// Absolute acceptance percentages depend on the synthetic workload
+// calibration; the comparisons that matter are the relative ones (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 6a, 6b, 6c, 6d, cc, policies, simulation, runtime, ablation or all")
+	apps := fs.Int("apps", 10, "applications per process count (paper: 150)")
+	procs := fs.String("procs", "20,40", "comma-separated process counts")
+	seed := fs.Int64("seed", 1, "base seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	md := fs.Bool("md", false, "render tables as Markdown instead of ASCII")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers}
+	for _, tok := range splitInts(*procs) {
+		cfg.Procs = append(cfg.Procs, tok)
+	}
+	if len(cfg.Procs) == 0 {
+		return fmt.Errorf("no process counts in -procs")
+	}
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	render := func(t *experiments.Table) error {
+		if *md {
+			return t.RenderMarkdown(w)
+		}
+		return t.Render(w)
+	}
+	table := func(f func(experiments.Config) (*experiments.Table, error)) func() error {
+		return func() error {
+			t, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			return render(t)
+		}
+	}
+	jobs := map[string]job{
+		"6a": {"Fig. 6a", table(experiments.Fig6a)},
+		"6b": {"Fig. 6b", table(experiments.Fig6b)},
+		"6c": {"Fig. 6c", table(experiments.Fig6c)},
+		"6d": {"Fig. 6d", table(experiments.Fig6d)},
+		"cc": {"Cruise controller", func() error { return runCC(w, render) }},
+		"runtime": {"OPT runtime", func() error {
+			t, err := experiments.RuntimeStudy(cfg, 1e-11, 25)
+			if err != nil {
+				return err
+			}
+			return render(t)
+		}},
+		"simulation": {"Simulation vs analysis", func() error {
+			t, err := experiments.SimulationStudy(cfg, 1e-11, 200)
+			if err != nil {
+				return err
+			}
+			return render(t)
+		}},
+		"policies": {"Policy comparison", func() error {
+			t, err := experiments.PolicyComparison(cfg, 1e-10, 0.5)
+			if err != nil {
+				return err
+			}
+			return render(t)
+		}},
+		"ablation": {"Ablations", func() error {
+			t, err := experiments.AblationSlack(cfg, experiments.Point{SER: 1e-10, HPD: 25, ArC: 20})
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			t, err = experiments.AblationMapping(cfg, experiments.Point{SER: 1e-11, HPD: 25, ArC: 20})
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			t, err = experiments.AblationGradient(cfg, 1e-10)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			t, err = experiments.AblationBus(cfg, experiments.Point{SER: 1e-11, HPD: 25, ArC: 20})
+			if err != nil {
+				return err
+			}
+			return render(t)
+		}},
+	}
+	order := []string{"6a", "6b", "6c", "6d", "cc", "policies", "simulation", "runtime", "ablation"}
+
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else if _, ok := jobs[*fig]; ok {
+		selected = []string{*fig}
+	} else {
+		return fmt.Errorf("unknown figure %q (want 6a, 6b, 6c, 6d, cc, policies, simulation, runtime, ablation or all)", *fig)
+	}
+
+	for i, name := range selected {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		start := time.Now()
+		if err := jobs[name].run(); err != nil {
+			return fmt.Errorf("%s: %w", jobs[name].name, err)
+		}
+		fmt.Fprintf(w, "(%s regenerated in %v)\n", jobs[name].name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runCC reproduces the cruise-controller case study.
+func runCC(w io.Writer, render func(*experiments.Table) error) error {
+	inst, err := cc.Instance()
+	if err != nil {
+		return err
+	}
+	t := experiments.NewTable("Cruise controller (32 processes on ETM/ABS/TCM, D=300 ms, rho=1-1.2e-5)",
+		[]string{"strategy", "feasible", "cost", "schedule length (ms)"})
+	var maxCost, optCost float64
+	for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
+		res, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: s})
+		if err != nil {
+			return err
+		}
+		row := []string{s.String(), fmt.Sprint(res.Feasible), "-", "-"}
+		if res.Feasible {
+			row[2] = fmt.Sprintf("%g", res.Cost)
+			row[3] = fmt.Sprintf("%.1f", res.Schedule.Length)
+		}
+		t.AddRow(row)
+		switch s {
+		case core.MAX:
+			maxCost = res.Cost
+		case core.OPT:
+			optCost = res.Cost
+		}
+	}
+	if err := render(t); err != nil {
+		return err
+	}
+	if maxCost > 0 && optCost > 0 {
+		fmt.Fprintf(w, "OPT improves on MAX by %.0f%% in cost (paper: 66%%)\n", 100*(maxCost-optCost)/maxCost)
+	}
+	return nil
+}
+
+// splitInts parses a comma-separated list of positive ints, ignoring empty
+// tokens.
+func splitInts(s string) []int {
+	var out []int
+	cur := 0
+	has := false
+	flush := func() {
+		if has && cur > 0 {
+			out = append(out, cur)
+		}
+		cur, has = 0, false
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			cur = cur*10 + int(r-'0')
+			has = true
+		case r == ',':
+			flush()
+		}
+	}
+	flush()
+	return out
+}

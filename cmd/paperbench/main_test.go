@@ -1,0 +1,65 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitInts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"20,40", []int{20, 40}},
+		{"20", []int{20}},
+		{"", nil},
+		{",,", nil},
+		{" 20 , 40 ", []int{20, 40}},
+	}
+	for _, c := range cases {
+		if got := splitInts(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitInts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "9z"}, &sb); err == nil {
+		t.Error("want error for unknown figure")
+	}
+	if err := run([]string{"-fig", "6a", "-procs", ","}, &sb); err == nil {
+		t.Error("want error for empty process list")
+	}
+}
+
+func TestCCFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full design strategies")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-fig", "cc"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"MIN", "MAX", "OPT", "false", "OPT improves on MAX"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-fig", "6c", "-apps", "1", "-procs", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 6c") || !strings.Contains(out, "OPT") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}

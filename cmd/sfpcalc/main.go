@@ -1,0 +1,119 @@
+// Command sfpcalc is a calculator for the paper's system failure
+// probability analysis (Appendix A). Given per-node process failure
+// probabilities and re-execution counts, it prints Pr(0), Pr(f),
+// Pr(f > k), the system failure probability and the reliability over the
+// time unit, with the paper's pessimistic 1e-11 rounding.
+//
+// Usage:
+//
+//	sfpcalc -nodes "1.2e-5,1.3e-5;1.2e-5,1.3e-5" -k "1,1" -period 360
+//	sfpcalc -demo     # reproduces the Appendix A.2 computation example
+//
+// Node probability lists are separated by ';', probabilities within a
+// node by ','.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sfp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sfpcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sfpcalc", flag.ContinueOnError)
+	nodesArg := fs.String("nodes", "", "per-node process failure probabilities, e.g. \"1e-5,2e-5;3e-5\"")
+	ksArg := fs.String("k", "", "per-node re-execution counts, e.g. \"1,1\"")
+	period := fs.Float64("period", 360, "application period T in ms")
+	tau := fs.Float64("tau", 3.6e6, "reliability time unit τ in ms")
+	gamma := fs.Float64("gamma", 1e-5, "reliability goal γ (ρ = 1 − γ)")
+	maxK := fs.Int("maxk", sfp.DefaultMaxK, "maximum re-executions to tabulate")
+	demo := fs.Bool("demo", false, "run the Appendix A.2 example (Fig. 4a architecture)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *demo {
+		*nodesArg = "1.2e-5,1.3e-5;1.2e-5,1.3e-5"
+		*ksArg = "1,1"
+		*period = 360
+		*gamma = 1e-5
+		fmt.Fprintln(w, "Appendix A.2 example: Fig. 4a architecture (N1^2 with P1,P2; N2^2 with P3,P4)")
+	}
+	if *nodesArg == "" {
+		return fmt.Errorf("-nodes is required (or use -demo)")
+	}
+
+	var nodeProbs [][]float64
+	for _, group := range strings.Split(*nodesArg, ";") {
+		var ps []float64
+		for _, tok := range strings.Split(group, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			p, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return fmt.Errorf("bad probability %q: %v", tok, err)
+			}
+			ps = append(ps, p)
+		}
+		nodeProbs = append(nodeProbs, ps)
+	}
+	ks := make([]int, len(nodeProbs))
+	if *ksArg != "" {
+		toks := strings.Split(*ksArg, ",")
+		if len(toks) != len(nodeProbs) {
+			return fmt.Errorf("%d re-execution counts for %d nodes", len(toks), len(nodeProbs))
+		}
+		for i, tok := range toks {
+			k, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad k %q: %v", tok, err)
+			}
+			ks[i] = k
+		}
+	}
+
+	analysis, err := sfp.NewAnalysis(nodeProbs, *period, *maxK)
+	if err != nil {
+		return err
+	}
+	fails := make([]float64, len(analysis.Nodes))
+	for j, n := range analysis.Nodes {
+		fmt.Fprintf(w, "node %d (%d processes, k=%d):\n", j+1, len(nodeProbs[j]), ks[j])
+		fmt.Fprintf(w, "  Pr(0)      = %.11f\n", n.PrZero())
+		for f := 1; f <= ks[j] && f <= *maxK; f++ {
+			pf, err := n.PrExactly(f)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  Pr(%d)      = %.11f\n", f, pf)
+		}
+		fails[j] = n.FailureProb(ks[j])
+		fmt.Fprintf(w, "  Pr(f>%d)    = %.6g\n", ks[j], fails[j])
+	}
+	union := sfp.SystemFailureProb(fails)
+	rel := sfp.Reliability(union, *period, *tau)
+	fmt.Fprintf(w, "system failure probability per iteration: %.6g\n", union)
+	fmt.Fprintf(w, "iterations per time unit (tau/T): %.0f\n", *tau / *period)
+	fmt.Fprintf(w, "system reliability over tau: %.11f\n", rel)
+	goal := sfp.Goal{Gamma: *gamma, Tau: *tau}
+	if rel >= goal.Rho() {
+		fmt.Fprintf(w, "meets reliability goal rho = 1 - %g: YES\n", *gamma)
+	} else {
+		fmt.Fprintf(w, "meets reliability goal rho = 1 - %g: NO\n", *gamma)
+	}
+	return nil
+}

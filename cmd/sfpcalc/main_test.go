@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemoReproducesAppendixA2(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"0.99997500015",
+		"0.00002499937",
+		"4.8e-10",
+		"9.6e-10",
+		"0.99999040004",
+		"YES",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplicitNodes(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-nodes", "4e-4", "-k", "2", "-period", "360", "-gamma", "1e-5"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 3, middle h-version with k=2 meets the goal.
+	if !strings.Contains(sb.String(), "YES") {
+		t.Errorf("Fig. 3 N1^2 with k=2 should meet the goal:\n%s", sb.String())
+	}
+	sb.Reset()
+	err = run([]string{"-nodes", "4e-4", "-k", "1", "-period", "360", "-gamma", "1e-5"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "NO") {
+		t.Errorf("k=1 should miss the goal:\n%s", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("want error without -nodes")
+	}
+	if err := run([]string{"-nodes", "zzz"}, &sb); err == nil {
+		t.Error("want error for bad probability")
+	}
+	if err := run([]string{"-nodes", "0.1", "-k", "1,2"}, &sb); err == nil {
+		t.Error("want error for k count mismatch")
+	}
+	if err := run([]string{"-nodes", "0.1", "-k", "x"}, &sb); err == nil {
+		t.Error("want error for non-integer k")
+	}
+	if err := run([]string{"-nodes", "2.0"}, &sb); err == nil {
+		t.Error("want error for probability > 1")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	V. Izosimov, I. Polian, P. Pop, P. Eles, Z. Peng.
+//	"Analysis and Optimization of Fault-Tolerant Embedded Systems with
+//	Hardened Processors", DATE 2009, pp. 682–687.
+//
+// The public API lives in package repro/ftes; the implementation is split
+// across repro/internal/* (see DESIGN.md for the system inventory). The
+// benchmarks in this package regenerate the paper's tables and figures —
+// one benchmark per experiment of the index in DESIGN.md — and
+// cmd/paperbench prints them as full tables.
+package repro

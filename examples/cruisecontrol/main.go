@@ -1,0 +1,86 @@
+// Cruise controller: the paper's real-life case study (Section 7). A
+// 32-process cruise controller on three automotive modules (ETM, ABS,
+// TCM) with a 300 ms deadline and reliability goal ρ = 1 − 1.2e-5 per
+// hour. MIN (software-only fault tolerance) cannot meet the deadline; MAX
+// (maximum hardening everywhere) can, but the OPT trade-off is much
+// cheaper.
+//
+//	go run ./examples/cruisecontrol
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/ftes"
+	"repro/internal/cc"
+)
+
+func main() {
+	inst, err := cc.Instance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cruise controller: %d processes, deadline %g ms, rho = 1 - %g per hour\n",
+		inst.App.NumProcesses(), inst.App.Graphs[0].Deadline, inst.Goal.Gamma)
+	fmt.Printf("modules: ")
+	for i, n := range inst.Platform.Nodes {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s (%d h-versions)", n.Name, len(n.Versions))
+	}
+	fmt.Println()
+	fmt.Println()
+
+	var maxCost, optCost float64
+	for _, s := range []ftes.Strategy{ftes.MIN, ftes.MAX, ftes.OPT} {
+		res, err := ftes.Run(inst.App, inst.Platform, ftes.Options{Goal: inst.Goal, Strategy: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Feasible {
+			fmt.Printf("%-3s: infeasible — cannot meet deadline and reliability goal\n", s)
+			continue
+		}
+		fmt.Printf("%-3s: cost %3.0f, worst-case schedule %.1f ms, hardening levels ", s, res.Cost, res.Schedule.Length)
+		for j, n := range res.Arch.Nodes {
+			if j > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s=%d(k=%d)", n.Name, res.Arch.Levels[j], res.Ks[j])
+		}
+		fmt.Println()
+		switch s {
+		case ftes.MAX:
+			maxCost = res.Cost
+		case ftes.OPT:
+			optCost = res.Cost
+		}
+	}
+	if maxCost > 0 && optCost > 0 {
+		fmt.Printf("\nOPT is %.0f%% cheaper than MAX (the paper reports 66%%)\n",
+			100*(maxCost-optCost)/maxCost)
+	}
+
+	// Show the OPT schedule as a Gantt chart (dots = recovery slack).
+	opt, err := ftes.Run(inst.App, inst.Platform, ftes.Options{Goal: inst.Goal, Strategy: ftes.OPT})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if opt.Feasible {
+		fmt.Println()
+		chart := &ftes.GanttChart{
+			App:      inst.App,
+			Arch:     opt.Arch,
+			Mapping:  opt.Mapping,
+			Schedule: opt.Schedule,
+			Deadline: cc.Deadline,
+			Width:    100,
+		}
+		if err := chart.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

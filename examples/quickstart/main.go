@@ -1,0 +1,80 @@
+// Quickstart: define a small application and a platform with hardened
+// node versions, run the design optimization, and print the chosen
+// implementation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ftes"
+)
+
+func main() {
+	// A four-process diamond: Sense feeds Plan and Monitor, both feed
+	// Act. Deadline 400 ms, recovery overhead μ = 10 ms per process.
+	b := ftes.NewBuilder("quickstart")
+	b.Graph("control-loop", 400)
+	sense := b.Process("Sense", 10)
+	plan := b.Process("Plan", 10)
+	monitor := b.Process("Monitor", 10)
+	act := b.Process("Act", 10)
+	b.Edge("m1", sense, plan, 8)
+	b.Edge("m2", sense, monitor, 8)
+	b.Edge("m3", plan, act, 8)
+	b.Edge("m4", monitor, act, 8)
+	b.Period(400)
+	app, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two node types, each in three hardened versions. Hardening improves
+	// the failure probability by two orders of magnitude per level, slows
+	// the node down, and costs more — the trade-off the optimizer works.
+	wcet := func(scale float64) []float64 {
+		return []float64{50 * scale, 70 * scale, 40 * scale, 60 * scale}
+	}
+	probs := func(p float64) []float64 { return []float64{p, p, p, p} }
+	mkNode := func(id int, name string, base float64, cost float64) ftes.Node {
+		return ftes.Node{
+			ID:   ftes.NodeID(id),
+			Name: name,
+			Versions: []ftes.HVersion{
+				{Level: 1, Cost: cost, WCET: wcet(base), FailProb: probs(2e-3)},
+				{Level: 2, Cost: 2 * cost, WCET: wcet(base * 1.15), FailProb: probs(2e-5)},
+				{Level: 3, Cost: 4 * cost, WCET: wcet(base * 1.4), FailProb: probs(2e-7)},
+			},
+		}
+	}
+	pl := &ftes.Platform{
+		Nodes: []ftes.Node{mkNode(0, "N1", 1.0, 12), mkNode(1, "N2", 1.1, 9)},
+		Bus:   ftes.BusSpec{SlotLen: 2},
+	}
+
+	// Find the cheapest implementation meeting ρ = 1 − 10⁻⁵ per hour.
+	res, err := ftes.Run(app, pl, ftes.Options{
+		Goal: ftes.Goal{Gamma: 1e-5, Tau: ftes.Hour},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Feasible {
+		log.Fatal("no feasible implementation")
+	}
+
+	fmt.Printf("cheapest implementation: %s\n", res.Arch)
+	for j, node := range res.Arch.Nodes {
+		fmt.Printf("  %s at hardening level %d with k=%d re-executions\n",
+			node.Name, res.Arch.Levels[j], res.Ks[j])
+	}
+	for pid, j := range res.Mapping {
+		fmt.Printf("  %-8s -> %s  [%.0f, %.0f] ms (worst-case completion %.0f ms)\n",
+			app.Procs[pid].Name, res.Arch.Nodes[j].Name,
+			res.Schedule.Start[pid], res.Schedule.Finish[pid], res.Schedule.WorstFinish[pid])
+	}
+	fmt.Printf("worst-case schedule length %.0f ms against deadline %.0f ms\n",
+		res.Schedule.Length, app.Graphs[0].Deadline)
+}

@@ -1,0 +1,71 @@
+package ftes_test
+
+import (
+	"fmt"
+
+	"repro/ftes"
+)
+
+// ExampleNewReliabilityNode reproduces the paper's Appendix A.2 numbers
+// for one node of the Fig. 4a architecture.
+func ExampleNewReliabilityNode() {
+	// P1 (p = 1.2e-5) and P2 (p = 1.3e-5) on N1^2.
+	node, err := ftes.NewReliabilityNode([]float64{1.2e-5, 1.3e-5}, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Pr(0)   = %.11f\n", node.PrZero())
+	pr1, _ := node.PrExactly(1)
+	fmt.Printf("Pr(1)   = %.11f\n", pr1)
+	fmt.Printf("Pr(f>1) = %.1e\n", node.FailureProb(1))
+
+	union := ftes.SystemFailureProb([]float64{node.FailureProb(1), node.FailureProb(1)})
+	fmt.Printf("system reliability over one hour: %.11f\n", ftes.Reliability(union, 360, ftes.Hour))
+	// Output:
+	// Pr(0)   = 0.99997500015
+	// Pr(1)   = 0.00002499937
+	// Pr(f>1) = 4.8e-10
+	// system reliability over one hour: 0.99999040004
+}
+
+// ExampleRun optimizes the paper's Fig. 3 example: the middle h-version
+// with two re-executions wins at half the cost of maximum hardening.
+func ExampleRun() {
+	b := ftes.NewBuilder("fig3")
+	b.Graph("G", 360)
+	b.Process("P1", 20) // μ = 20 ms
+	b.Period(360)
+	app, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	pl := &ftes.Platform{
+		Nodes: []ftes.Node{{
+			ID:   0,
+			Name: "N1",
+			Versions: []ftes.HVersion{
+				{Level: 1, Cost: 10, WCET: []float64{80}, FailProb: []float64{4e-2}},
+				{Level: 2, Cost: 20, WCET: []float64{100}, FailProb: []float64{4e-4}},
+				{Level: 3, Cost: 40, WCET: []float64{160}, FailProb: []float64{4e-6}},
+			},
+		}},
+		Bus: ftes.BusSpec{SlotLen: 5},
+	}
+	res, err := ftes.Run(app, pl, ftes.Options{Goal: ftes.Goal{Gamma: 1e-5, Tau: ftes.Hour}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("feasible=%v cost=%g level=%d k=%d worst-case=%g ms\n",
+		res.Feasible, res.Cost, res.Arch.Levels[0], res.Ks[0], res.Schedule.Length)
+	// Output:
+	// feasible=true cost=20 level=2 k=2 worst-case=340 ms
+}
+
+// ExampleOptimalSegments shows the checkpointing optimum of the TVLSI
+// companion: n⁰ = √(k·t/(χ+α)).
+func ExampleOptimalSegments() {
+	n := ftes.OptimalSegments(100, 2, ftes.CheckpointOverheads{Chi: 1, Alpha: 1}, 5, 32)
+	fmt.Println(n)
+	// Output:
+	// 10
+}

@@ -1,0 +1,172 @@
+package repro_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"testing"
+
+	"repro/ftes"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/execsim"
+	"repro/internal/paper"
+	"repro/internal/specio"
+	"repro/internal/tgff"
+	"repro/internal/ttp"
+)
+
+// TestEndToEndSpecRoundTrip drives the full tool pipeline in-process:
+// paper fixture → JSON spec → decode → design optimization → execution
+// simulation of the chosen design.
+func TestEndToEndSpecRoundTrip(t *testing.T) {
+	spec := &specio.Spec{
+		Application: paper.Fig1Application(),
+		Platform:    paper.Fig1Platform(),
+		Gamma:       paper.Fig1Gamma,
+	}
+	var buf bytes.Buffer
+	if err := specio.Write(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := specio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(decoded.Application, decoded.Platform, core.Options{Goal: decoded.Goal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Cost > 72 {
+		t.Fatalf("optimization: feasible=%v cost=%v", res.Feasible, res.Cost)
+	}
+	campaign := execsim.Campaign{
+		Input: execsim.Input{
+			App:     decoded.Application,
+			Arch:    res.Arch,
+			Mapping: res.Mapping,
+			Ks:      res.Ks,
+			Bus:     ttp.NewBus(len(res.Arch.Nodes), decoded.Platform.Bus.SlotLen),
+			Static:  res.Schedule,
+		},
+		Iterations: 200,
+		Seed:       1,
+	}
+	cr, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With p ≈ 1e-3..1e-5 realistic faults, the design essentially never
+	// misses over 200 iterations.
+	if cr.DeadlineMisses > 5 {
+		t.Errorf("%d misses over %d probabilistic iterations", cr.DeadlineMisses, cr.Iterations)
+	}
+}
+
+// TestEndToEndTGFFPipeline: TGFF text → application → architecture built
+// by the WCET substrate → design run through the public facade.
+func TestEndToEndTGFFPipeline(t *testing.T) {
+	const doc = `
+@TASK_GRAPH 0 {
+	PERIOD 200
+	TASK read  TYPE 0
+	TASK plan  TYPE 1
+	TASK act   TYPE 2
+	ARC a0 FROM read TO plan TYPE 0
+	ARC a1 FROM plan TO act  TYPE 1
+	HARD_DEADLINE d0 ON act AT 180
+}
+`
+	f, err := tgff.Parse(bytes.NewReader([]byte(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := f.Application("tgff-flow", tgff.Options{
+		Mu: func(int) float64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := ftes.BuildWCETNode(ftes.WCETNodeSpec{
+		ID: 0, Name: "ECU", ClockMHz: 200, BaseCost: 5, Levels: 3,
+		HPDPercent: 25, SERPerCycle: 1e-10,
+	}, []ftes.WCETProgram{
+		{Name: "read", Root: ftes.WCETBlock{N: 2_000_000}},
+		{Name: "plan", Root: ftes.WCETLoop{Bound: 10, TestCycles: 100, Body: ftes.WCETBlock{N: 400_000}}},
+		{Name: "act", Root: ftes.WCETBlock{N: 1_500_000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &ftes.Platform{Nodes: []ftes.Node{*node}, Bus: ftes.BusSpec{SlotLen: 0.5}}
+	res, err := ftes.Run(app, pl, ftes.Options{Goal: ftes.Goal{Gamma: 1e-5, Tau: ftes.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("TGFF pipeline should produce a feasible design (result %+v)", res)
+	}
+}
+
+// TestEndToEndCCPolicyUpgrade: the cruise controller's OPT design, then
+// per-process policy assignment on top — the policy optimizer must not
+// make the schedule worse.
+func TestEndToEndCCPolicyUpgrade(t *testing.T) {
+	inst, err := cc.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: core.OPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("CC OPT should be feasible")
+	}
+	sol, err := ftes.OptimizePolicies(ftes.PolicyProblem{
+		App:       inst.App,
+		Arch:      res.Arch,
+		Mapping:   res.Mapping,
+		Goal:      inst.Goal,
+		Overheads: ftes.CheckpointOverheads{Chi: 0.5, Alpha: 0.5},
+		Bus:       ttp.NewBus(len(res.Arch.Nodes), inst.Platform.Bus.SlotLen),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatal("policy assignment should remain feasible")
+	}
+	if sol.Schedule.Length > res.Schedule.Length+1e-9 {
+		t.Errorf("policy assignment worsened the CC schedule: %v vs %v",
+			sol.Schedule.Length, res.Schedule.Length)
+	}
+}
+
+// TestExamplesRun executes every example main and requires a clean exit —
+// the examples are living documentation and must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

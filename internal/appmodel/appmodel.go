@@ -1,0 +1,310 @@
+// Package appmodel defines the application model of the paper (Section 2):
+// an application is a set of directed acyclic graphs whose nodes are
+// non-preemptable processes and whose edges carry messages. Processes
+// become ready when all their inputs have arrived and emit their outputs
+// on termination.
+//
+// Process identifiers are dense integers, unique across the whole
+// application, so that platform tables (WCETs, failure probabilities) can
+// be indexed by slices.
+package appmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcID identifies a process, unique and dense (0..NumProcesses-1) across
+// an Application.
+type ProcID int
+
+// EdgeID identifies an edge (message), unique and dense across an
+// Application.
+type EdgeID int
+
+// Process is a node of a task graph. A process cannot be preempted during
+// its execution (Section 2). Worst-case execution times are a property of
+// the platform (they depend on the computation node and hardening level)
+// and live in package platform.
+type Process struct {
+	ID   ProcID
+	Name string
+	// Mu is the worst-case recovery overhead μ in milliseconds charged
+	// before each re-execution of this process (Section 3). The paper uses
+	// a single μ per application in the examples and a per-process μ
+	// (1–10% of WCET) in the experiments, so it is stored per process.
+	Mu float64
+}
+
+// Edge is a data dependency between two processes: the output of Src is an
+// input of Dst. If the two processes are mapped on different computation
+// nodes, the message is transmitted over the bus.
+type Edge struct {
+	ID       EdgeID
+	Name     string
+	Src, Dst ProcID
+	// Size is the worst-case message size in bytes; the bus model
+	// translates it into a worst-case transmission time (Section 2).
+	Size int
+}
+
+// Graph is one directed acyclic task graph G_k(V_k, E_k) with a hard
+// deadline.
+type Graph struct {
+	Name string
+	// Procs lists the IDs of the processes belonging to this graph.
+	Procs []ProcID
+	// Edges lists the IDs of the edges belonging to this graph. Both
+	// endpoints of each edge must belong to the graph.
+	Edges []EdgeID
+	// Deadline is the hard deadline D in milliseconds, relative to the
+	// activation of the graph.
+	Deadline float64
+}
+
+// Application is a set of task graphs sharing a process/edge namespace,
+// together with the timing parameters of the reliability analysis.
+type Application struct {
+	Name   string
+	Procs  []Process
+	Edges  []Edge
+	Graphs []Graph
+	// Period is the activation period T of the application in
+	// milliseconds; the SFP analysis evaluates τ/Period iterations per
+	// time unit τ. If zero, the largest graph deadline is used.
+	Period float64
+}
+
+// NumProcesses returns the number of processes in the application.
+func (a *Application) NumProcesses() int { return len(a.Procs) }
+
+// EffectivePeriod returns Period, or the largest graph deadline when
+// Period is unset.
+func (a *Application) EffectivePeriod() float64 {
+	if a.Period > 0 {
+		return a.Period
+	}
+	var d float64
+	for _, g := range a.Graphs {
+		if g.Deadline > d {
+			d = g.Deadline
+		}
+	}
+	return d
+}
+
+// Validate checks the structural invariants of the application: dense
+// sequential IDs, edges referencing existing distinct processes, every
+// process and edge assigned to exactly one graph, acyclic graphs, positive
+// deadlines, and non-negative recovery overheads.
+func (a *Application) Validate() error {
+	for i, p := range a.Procs {
+		if p.ID != ProcID(i) {
+			return fmt.Errorf("appmodel: process %q has ID %d, want dense ID %d", p.Name, p.ID, i)
+		}
+		if p.Mu < 0 {
+			return fmt.Errorf("appmodel: process %q has negative recovery overhead %v", p.Name, p.Mu)
+		}
+	}
+	for i, e := range a.Edges {
+		if e.ID != EdgeID(i) {
+			return fmt.Errorf("appmodel: edge %q has ID %d, want dense ID %d", e.Name, e.ID, i)
+		}
+		if !a.validProc(e.Src) || !a.validProc(e.Dst) {
+			return fmt.Errorf("appmodel: edge %q references unknown process (%d -> %d)", e.Name, e.Src, e.Dst)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("appmodel: edge %q is a self-loop on process %d", e.Name, e.Src)
+		}
+		if e.Size < 0 {
+			return fmt.Errorf("appmodel: edge %q has negative size %d", e.Name, e.Size)
+		}
+	}
+	procGraph := make([]int, len(a.Procs))
+	for i := range procGraph {
+		procGraph[i] = -1
+	}
+	edgeGraph := make([]int, len(a.Edges))
+	for i := range edgeGraph {
+		edgeGraph[i] = -1
+	}
+	for gi, g := range a.Graphs {
+		if g.Deadline <= 0 {
+			return fmt.Errorf("appmodel: graph %q has non-positive deadline %v", g.Name, g.Deadline)
+		}
+		for _, pid := range g.Procs {
+			if !a.validProc(pid) {
+				return fmt.Errorf("appmodel: graph %q references unknown process %d", g.Name, pid)
+			}
+			if procGraph[pid] >= 0 {
+				return fmt.Errorf("appmodel: process %d belongs to graphs %q and %q", pid, a.Graphs[procGraph[pid]].Name, g.Name)
+			}
+			procGraph[pid] = gi
+		}
+		for _, eid := range g.Edges {
+			if int(eid) < 0 || int(eid) >= len(a.Edges) {
+				return fmt.Errorf("appmodel: graph %q references unknown edge %d", g.Name, eid)
+			}
+			if edgeGraph[eid] >= 0 {
+				return fmt.Errorf("appmodel: edge %d belongs to two graphs", eid)
+			}
+			edgeGraph[eid] = gi
+		}
+	}
+	for pid, gi := range procGraph {
+		if gi < 0 {
+			return fmt.Errorf("appmodel: process %d (%q) belongs to no graph", pid, a.Procs[pid].Name)
+		}
+	}
+	for eid, gi := range edgeGraph {
+		if gi < 0 {
+			return fmt.Errorf("appmodel: edge %d (%q) belongs to no graph", eid, a.Edges[eid].Name)
+		}
+		e := a.Edges[eid]
+		if procGraph[e.Src] != gi || procGraph[e.Dst] != gi {
+			return fmt.Errorf("appmodel: edge %q crosses graph boundaries", e.Name)
+		}
+	}
+	if _, err := a.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (a *Application) validProc(id ProcID) bool {
+	return int(id) >= 0 && int(id) < len(a.Procs)
+}
+
+// Successors returns, for each process, the edges leaving it, indexed by
+// ProcID.
+func (a *Application) Successors() [][]Edge {
+	succ := make([][]Edge, len(a.Procs))
+	for _, e := range a.Edges {
+		succ[e.Src] = append(succ[e.Src], e)
+	}
+	return succ
+}
+
+// Predecessors returns, for each process, the edges entering it, indexed
+// by ProcID.
+func (a *Application) Predecessors() [][]Edge {
+	pred := make([][]Edge, len(a.Procs))
+	for _, e := range a.Edges {
+		pred[e.Dst] = append(pred[e.Dst], e)
+	}
+	return pred
+}
+
+// TopoOrder returns the process IDs in a topological order of the
+// dependency relation, or an error if any graph contains a cycle. Ties are
+// broken by ascending ID so the order is deterministic.
+func (a *Application) TopoOrder() ([]ProcID, error) {
+	indeg := make([]int, len(a.Procs))
+	for _, e := range a.Edges {
+		indeg[e.Dst]++
+	}
+	succ := a.Successors()
+	var ready []ProcID
+	for i := range a.Procs {
+		if indeg[i] == 0 {
+			ready = append(ready, ProcID(i))
+		}
+	}
+	order := make([]ProcID, 0, len(a.Procs))
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		p := ready[0]
+		ready = ready[1:]
+		order = append(order, p)
+		for _, e := range succ[p] {
+			indeg[e.Dst]--
+			if indeg[e.Dst] == 0 {
+				ready = append(ready, e.Dst)
+			}
+		}
+	}
+	if len(order) != len(a.Procs) {
+		return nil, fmt.Errorf("appmodel: dependency cycle detected (%d of %d processes ordered)", len(order), len(a.Procs))
+	}
+	return order, nil
+}
+
+// GraphOf returns, indexed by ProcID, the index into Graphs of the graph
+// each process belongs to. The application must be valid.
+func (a *Application) GraphOf() []int {
+	gi := make([]int, len(a.Procs))
+	for i := range gi {
+		gi[i] = -1
+	}
+	for g := range a.Graphs {
+		for _, pid := range a.Graphs[g].Procs {
+			gi[pid] = g
+		}
+	}
+	return gi
+}
+
+// Sources returns the processes with no predecessors, in ID order.
+func (a *Application) Sources() []ProcID {
+	indeg := make([]int, len(a.Procs))
+	for _, e := range a.Edges {
+		indeg[e.Dst]++
+	}
+	var src []ProcID
+	for i, d := range indeg {
+		if d == 0 {
+			src = append(src, ProcID(i))
+		}
+	}
+	return src
+}
+
+// Sinks returns the processes with no successors, in ID order.
+func (a *Application) Sinks() []ProcID {
+	outdeg := make([]int, len(a.Procs))
+	for _, e := range a.Edges {
+		outdeg[e.Src]++
+	}
+	var snk []ProcID
+	for i, d := range outdeg {
+		if d == 0 {
+			snk = append(snk, ProcID(i))
+		}
+	}
+	return snk
+}
+
+// CriticalPathLengths returns, for each process, the length of the longest
+// chain from that process to any sink, where each process contributes
+// procWeight and each edge contributes edgeWeight. It is the "partial
+// critical path" priority used by the list scheduler: higher values are
+// scheduled first. The application must be acyclic.
+func (a *Application) CriticalPathLengths(procWeight func(ProcID) float64, edgeWeight func(Edge) float64) ([]float64, error) {
+	order, err := a.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	succ := a.Successors()
+	cpl := make([]float64, len(a.Procs))
+	for i := len(order) - 1; i >= 0; i-- {
+		p := order[i]
+		best := 0.0
+		for _, e := range succ[p] {
+			v := edgeWeight(e) + cpl[e.Dst]
+			if v > best {
+				best = v
+			}
+		}
+		cpl[p] = procWeight(p) + best
+	}
+	return cpl, nil
+}
+
+// SetUniformMu sets the recovery overhead of every process to mu, as in
+// the paper's illustrative examples where a single μ is given for the
+// whole application.
+func (a *Application) SetUniformMu(mu float64) {
+	for i := range a.Procs {
+		a.Procs[i].Mu = mu
+	}
+}

@@ -1,0 +1,233 @@
+package appmodel
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// diamond builds the Fig. 1 application shape: P1 -> {P2, P3} -> P4.
+func diamond(t *testing.T) *Application {
+	t.Helper()
+	b := NewBuilder("A")
+	b.Graph("G1", 360)
+	p1 := b.Process("P1", 15)
+	p2 := b.Process("P2", 15)
+	p3 := b.Process("P3", 15)
+	p4 := b.Process("P4", 15)
+	b.Edge("m1", p1, p2, 4)
+	b.Edge("m2", p1, p3, 4)
+	b.Edge("m3", p2, p4, 4)
+	b.Edge("m4", p3, p4, 4)
+	return b.MustBuild()
+}
+
+func TestBuilderDiamond(t *testing.T) {
+	a := diamond(t)
+	if a.NumProcesses() != 4 || len(a.Edges) != 4 || len(a.Graphs) != 1 {
+		t.Fatalf("unexpected sizes: %d procs, %d edges, %d graphs", a.NumProcesses(), len(a.Edges), len(a.Graphs))
+	}
+	if a.EffectivePeriod() != 360 {
+		t.Errorf("EffectivePeriod = %v, want 360 (largest deadline)", a.EffectivePeriod())
+	}
+	a.Period = 500
+	if a.EffectivePeriod() != 500 {
+		t.Errorf("EffectivePeriod = %v, want explicit 500", a.EffectivePeriod())
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	a := diamond(t)
+	order, err := a.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[ProcID]int)
+	for i, p := range order {
+		pos[p] = i
+	}
+	for _, e := range a.Edges {
+		if pos[e.Src] >= pos[e.Dst] {
+			t.Errorf("edge %q violates topological order", e.Name)
+		}
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	a := diamond(t)
+	// Add a back edge P4 -> P1 to create a cycle.
+	a.Edges = append(a.Edges, Edge{ID: 4, Name: "back", Src: 3, Dst: 0})
+	a.Graphs[0].Edges = append(a.Graphs[0].Edges, 4)
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("want cycle error, got %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Application)
+		want   string
+	}{
+		{"non-dense proc ID", func(a *Application) { a.Procs[1].ID = 7 }, "dense"},
+		{"negative mu", func(a *Application) { a.Procs[0].Mu = -1 }, "negative recovery"},
+		{"self loop", func(a *Application) { a.Edges[0].Dst = a.Edges[0].Src }, "self-loop"},
+		{"negative size", func(a *Application) { a.Edges[0].Size = -1 }, "negative size"},
+		{"bad deadline", func(a *Application) { a.Graphs[0].Deadline = 0 }, "deadline"},
+		{"unknown edge proc", func(a *Application) { a.Edges[2].Dst = 99 }, "unknown process"},
+		{"orphan process", func(a *Application) {
+			a.Procs = append(a.Procs, Process{ID: 4, Name: "orphan"})
+		}, "no graph"},
+		{"duplicate membership", func(a *Application) {
+			a.Graphs = append(a.Graphs, Graph{Name: "G2", Deadline: 100, Procs: []ProcID{0}})
+		}, "belongs to graphs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := diamond(t)
+			c.mutate(a)
+			err := a.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	a := diamond(t)
+	if got := a.Sources(); !reflect.DeepEqual(got, []ProcID{0}) {
+		t.Errorf("Sources = %v, want [0]", got)
+	}
+	if got := a.Sinks(); !reflect.DeepEqual(got, []ProcID{3}) {
+		t.Errorf("Sinks = %v, want [3]", got)
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	a := diamond(t)
+	succ := a.Successors()
+	if len(succ[0]) != 2 || len(succ[3]) != 0 {
+		t.Errorf("unexpected successors: %v", succ)
+	}
+	pred := a.Predecessors()
+	if len(pred[0]) != 0 || len(pred[3]) != 2 {
+		t.Errorf("unexpected predecessors: %v", pred)
+	}
+}
+
+func TestCriticalPathLengths(t *testing.T) {
+	a := diamond(t)
+	// Unit process weights, zero edge weights: P1 has chain length 3
+	// (P1,P2,P4 or P1,P3,P4), P4 has 1.
+	cpl, err := a.CriticalPathLengths(
+		func(ProcID) float64 { return 1 },
+		func(Edge) float64 { return 0 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 2, 1}
+	if !reflect.DeepEqual(cpl, want) {
+		t.Errorf("cpl = %v, want %v", cpl, want)
+	}
+	// Edge weights count too.
+	cpl, err = a.CriticalPathLengths(
+		func(ProcID) float64 { return 1 },
+		func(Edge) float64 { return 10 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpl[0] != 23 {
+		t.Errorf("cpl[P1] = %v, want 23 (3 procs + 2 edges)", cpl[0])
+	}
+}
+
+func TestGraphOf(t *testing.T) {
+	b := NewBuilder("two")
+	b.Graph("G1", 100)
+	p1 := b.Process("P1", 0)
+	b.Graph("G2", 200)
+	p2 := b.Process("P2", 0)
+	a := b.MustBuild()
+	gi := a.GraphOf()
+	if gi[p1] != 0 || gi[p2] != 1 {
+		t.Errorf("GraphOf = %v", gi)
+	}
+}
+
+func TestSetUniformMu(t *testing.T) {
+	a := diamond(t)
+	a.SetUniformMu(5)
+	for _, p := range a.Procs {
+		if p.Mu != 5 {
+			t.Errorf("process %q Mu = %v, want 5", p.Name, p.Mu)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := diamond(t)
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", a, got)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("want error for unknown field")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+	// Structurally valid JSON but semantically invalid application.
+	bad := `{"Name":"x","Procs":[{"ID":0,"Name":"P","Mu":0}],"Edges":[],"Graphs":[]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("want validation error for orphan process")
+	}
+}
+
+// TestRandomDAGsValid generates random layered DAGs through the Builder and
+// checks that Validate accepts them and TopoOrder covers all processes.
+func TestRandomDAGsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		b := NewBuilder("rand")
+		b.Graph("G", 1000)
+		n := 2 + rng.Intn(20)
+		ids := make([]ProcID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.Process("P", float64(rng.Intn(10)))
+		}
+		// Forward edges only: guaranteed acyclic.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					b.Edge("e", ids[i], ids[j], rng.Intn(64))
+				}
+			}
+		}
+		a, err := b.Build()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		order, err := a.TopoOrder()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(order) != n {
+			t.Fatalf("trial %d: order covers %d of %d", trial, len(order), n)
+		}
+	}
+}

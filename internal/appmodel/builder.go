@@ -1,0 +1,74 @@
+package appmodel
+
+import "fmt"
+
+// Builder incrementally constructs a valid Application. It hands out dense
+// process and edge IDs and assigns them to graphs, so callers never manage
+// IDs by hand.
+type Builder struct {
+	app      Application
+	curGraph int
+}
+
+// NewBuilder returns a Builder for an application with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{app: Application{Name: name}, curGraph: -1}
+}
+
+// Graph starts a new task graph with the given name and deadline; processes
+// and edges added afterwards belong to it until the next Graph call.
+func (b *Builder) Graph(name string, deadline float64) *Builder {
+	b.app.Graphs = append(b.app.Graphs, Graph{Name: name, Deadline: deadline})
+	b.curGraph = len(b.app.Graphs) - 1
+	return b
+}
+
+// Process adds a process with recovery overhead mu to the current graph and
+// returns its ID.
+func (b *Builder) Process(name string, mu float64) ProcID {
+	if b.curGraph < 0 {
+		panic("appmodel: Builder.Process called before Graph")
+	}
+	id := ProcID(len(b.app.Procs))
+	b.app.Procs = append(b.app.Procs, Process{ID: id, Name: name, Mu: mu})
+	g := &b.app.Graphs[b.curGraph]
+	g.Procs = append(g.Procs, id)
+	return id
+}
+
+// Edge adds a dependency edge carrying a message of the given size to the
+// current graph and returns its ID. Both endpoints must already exist.
+func (b *Builder) Edge(name string, src, dst ProcID, size int) EdgeID {
+	if b.curGraph < 0 {
+		panic("appmodel: Builder.Edge called before Graph")
+	}
+	id := EdgeID(len(b.app.Edges))
+	b.app.Edges = append(b.app.Edges, Edge{ID: id, Name: name, Src: src, Dst: dst, Size: size})
+	g := &b.app.Graphs[b.curGraph]
+	g.Edges = append(g.Edges, id)
+	return id
+}
+
+// Period sets the application period T.
+func (b *Builder) Period(t float64) *Builder {
+	b.app.Period = t
+	return b
+}
+
+// Build validates and returns the application.
+func (b *Builder) Build() (*Application, error) {
+	a := b.app
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("appmodel: build: %w", err)
+	}
+	return &a, nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixed examples.
+func (b *Builder) MustBuild() *Application {
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,33 @@
+package appmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON feeds arbitrary bytes into the application decoder: no
+// panics, and accepted applications pass Validate (in particular they are
+// acyclic, so TopoOrder must succeed too).
+func FuzzReadJSON(f *testing.F) {
+	b := NewBuilder("seed")
+	b.Graph("G", 100)
+	p1 := b.Process("A", 1)
+	p2 := b.Process("B", 1)
+	b.Edge("e", p1, p2, 4)
+	app := b.MustBuild()
+	var buf bytes.Buffer
+	_ = app.WriteJSON(&buf)
+	f.Add(buf.String())
+	f.Add(`{"Name":"x"}`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		a, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := a.TopoOrder(); err != nil {
+			t.Fatalf("accepted cyclic application: %v", err)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package appmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MarshalJSON-compatible encoding uses the exported struct fields directly;
+// this file adds stream helpers that validate on decode so that malformed
+// files are rejected at the boundary.
+
+// WriteJSON writes the application as indented JSON.
+func (a *Application) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("appmodel: encode %q: %w", a.Name, err)
+	}
+	return nil
+}
+
+// ReadJSON decodes an application from JSON and validates it.
+func ReadJSON(r io.Reader) (*Application, error) {
+	var a Application
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("appmodel: decode: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

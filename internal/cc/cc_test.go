@@ -1,0 +1,124 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func TestCCStructure(t *testing.T) {
+	inst, err := Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.App.NumProcesses() != 32 {
+		t.Fatalf("CC has %d processes, want 32", inst.App.NumProcesses())
+	}
+	if len(inst.Platform.Nodes) != 3 {
+		t.Fatalf("CC has %d nodes, want 3 (ETM, ABS, TCM)", len(inst.Platform.Nodes))
+	}
+	names := []string{"ETM", "ABS", "TCM"}
+	for i, n := range inst.Platform.Nodes {
+		if n.Name != names[i] {
+			t.Errorf("node %d named %q, want %q", i, n.Name, names[i])
+		}
+		if len(n.Versions) != NumLevels {
+			t.Errorf("node %s has %d h-versions, want %d", n.Name, len(n.Versions), NumLevels)
+		}
+	}
+	if inst.App.Graphs[0].Deadline != Deadline {
+		t.Errorf("deadline %v, want %v", inst.App.Graphs[0].Deadline, float64(Deadline))
+	}
+	if inst.Goal.Gamma != Gamma {
+		t.Errorf("gamma %v, want %v", inst.Goal.Gamma, Gamma)
+	}
+	// Every process participates in the pipeline: no isolated nodes.
+	pred := inst.App.Predecessors()
+	succ := inst.App.Successors()
+	for pid, p := range inst.App.Procs {
+		if len(pred[pid]) == 0 && len(succ[pid]) == 0 {
+			t.Errorf("process %q is isolated", p.Name)
+		}
+	}
+}
+
+// TestCCDeterministic: two builds are identical.
+func TestCCDeterministic(t *testing.T) {
+	a, err := Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.App.Edges) != len(b.App.Edges) || a.Goal != b.Goal {
+		t.Error("CC instance not deterministic")
+	}
+}
+
+// TestCCStrategies reproduces the paper's CC result (Section 7): the CC is
+// not schedulable with the MIN strategy; it is schedulable with MAX and
+// OPT; and OPT, trading hardware against software redundancy, is
+// substantially cheaper than MAX (the paper reports 66%; our
+// reconstruction lands at ≈69%).
+func TestCCStrategies(t *testing.T) {
+	inst, err := Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s core.Strategy) *core.Result {
+		t.Helper()
+		res, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	min := run(core.MIN)
+	if min.Feasible {
+		t.Errorf("MIN should be unschedulable on the CC, got cost %v", min.Cost)
+	}
+	max := run(core.MAX)
+	if !max.Feasible {
+		t.Fatal("MAX should be schedulable on the CC")
+	}
+	opt := run(core.OPT)
+	if !opt.Feasible {
+		t.Fatal("OPT should be schedulable on the CC")
+	}
+	improvement := 100 * (max.Cost - opt.Cost) / max.Cost
+	if improvement < 50 {
+		t.Errorf("OPT improves on MAX by %.0f%%, want at least 50%% (paper: 66%%)", improvement)
+	}
+	// The deadline actually holds in the worst case.
+	if !opt.Schedule.Schedulable(inst.App) {
+		t.Error("OPT schedule violates the 300 ms deadline")
+	}
+	// The load (>500 ms against a 300 ms deadline) forces all three
+	// modules.
+	if len(opt.Arch.Nodes) != 3 {
+		t.Errorf("OPT uses %d nodes, want all 3", len(opt.Arch.Nodes))
+	}
+}
+
+// TestCCPerProcessSlackNoBetter: under the more pessimistic per-process
+// slack model OPT cannot be cheaper than under the paper's shared model.
+func TestCCPerProcessSlackNoBetter(t *testing.T) {
+	inst, err := Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: core.OPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: core.OPT, Model: sched.SlackPerProcess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Feasible && shared.Feasible && pp.Cost < shared.Cost {
+		t.Errorf("per-process slack cheaper (%v) than shared (%v)", pp.Cost, shared.Cost)
+	}
+}

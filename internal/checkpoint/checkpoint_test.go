@@ -1,0 +1,305 @@
+package checkpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/platform"
+	"repro/internal/sfp"
+	"repro/internal/ttp"
+)
+
+func TestWorstCaseTimeFormulae(t *testing.T) {
+	o := Overheads{Chi: 2, Alpha: 1}
+	if got := FaultFreeTime(100, 4, o); got != 112 {
+		t.Errorf("E0 = %v, want 112", got)
+	}
+	if got := RecoveryCost(100, 4, 5); got != 30 {
+		t.Errorf("R = %v, want 30", got)
+	}
+	if got := WorstCaseTime(100, 4, 2, o, 5); got != 112+60 {
+		t.Errorf("E2 = %v, want 172", got)
+	}
+	// Degenerate inputs clamp.
+	if FaultFreeTime(100, 0, o) != 103 {
+		t.Error("n<1 should clamp to 1")
+	}
+	if WorstCaseTime(100, 1, -3, o, 5) != 103 {
+		t.Error("negative k should clamp to 0")
+	}
+}
+
+func TestOptimalSegmentsClosedForm(t *testing.T) {
+	// n0 = sqrt(k·t/(χ+α)) = sqrt(2·100/2) = 10.
+	o := Overheads{Chi: 1, Alpha: 1}
+	if got := OptimalSegments(100, 2, o, 5, 32); got != 10 {
+		t.Errorf("n = %d, want 10", got)
+	}
+	// k = 0: no faults, checkpoints only cost.
+	if got := OptimalSegments(100, 0, o, 5, 32); got != 1 {
+		t.Errorf("k=0: n = %d, want 1", got)
+	}
+	// Free checkpoints: cap at maxN.
+	if got := OptimalSegments(100, 2, Overheads{}, 5, 16); got != 16 {
+		t.Errorf("free overheads: n = %d, want 16", got)
+	}
+	// Cap respected.
+	if got := OptimalSegments(100, 2, o, 5, 4); got != 4 {
+		t.Errorf("capped: n = %d, want 4", got)
+	}
+}
+
+// TestOptimalSegmentsIsMinimum: the returned n is never worse than any
+// other n in range.
+func TestOptimalSegmentsIsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		tt := 1 + rng.Float64()*99
+		k := rng.Intn(5)
+		o := Overheads{Chi: rng.Float64() * 3, Alpha: rng.Float64() * 2}
+		mu := rng.Float64() * 5
+		maxN := 1 + rng.Intn(31)
+		best := OptimalSegments(tt, k, o, mu, maxN)
+		bestCost := WorstCaseTime(tt, best, k, o, mu)
+		for n := 1; n <= maxN; n++ {
+			if c := WorstCaseTime(tt, n, k, o, mu); c < bestCost-1e-9 {
+				t.Fatalf("trial %d: n=%d beats chosen n=%d (%v < %v)", trial, n, best, c, bestCost)
+			}
+		}
+	}
+}
+
+func TestSegmentFailProb(t *testing.T) {
+	// n = 1: unchanged.
+	if got := SegmentFailProb(0.3, 1); got != 0.3 {
+		t.Errorf("n=1: %v", got)
+	}
+	// Edges.
+	if SegmentFailProb(0, 4) != 0 || SegmentFailProb(1, 4) != 1 {
+		t.Error("edge probabilities mishandled")
+	}
+	// For small p, segment prob ≈ p/n (within rounding), and n segment
+	// trials recompose pessimistically to at least p.
+	p := 1e-4
+	for _, n := range []int{2, 4, 8} {
+		seg := SegmentFailProb(p, n)
+		if seg < p/float64(n)-1e-11 {
+			t.Errorf("n=%d: segment prob %v below p/n", n, seg)
+		}
+		recomposed := 1 - math.Pow(1-seg, float64(n))
+		if recomposed < p-1e-9 {
+			t.Errorf("n=%d: recomposed %v underestimates p=%v", n, recomposed, p)
+		}
+	}
+}
+
+func TestOverheadsValidate(t *testing.T) {
+	if err := (Overheads{Chi: -1}).Validate(); err == nil {
+		t.Error("want error for negative chi")
+	}
+	if err := (Overheads{Chi: 1, Alpha: 2}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func fig4aSetup(t *testing.T) (*platform.Platform, *platform.Architecture, []int) {
+	t.Helper()
+	pl := paper.Fig1Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0], &pl.Nodes[1]})
+	ar.Levels = []int{2, 2}
+	return pl, ar, []int{0, 0, 1, 1}
+}
+
+func TestNewPlan(t *testing.T) {
+	app := paper.Fig1Application()
+	_, ar, mapping := fig4aSetup(t)
+	o := Overheads{Chi: 3, Alpha: 2}
+	plan, err := NewPlan(app, ar, mapping, []int{1, 1}, o, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, n := range plan.Segments {
+		if n < 1 || n > 8 {
+			t.Errorf("process %d: %d segments", pid, n)
+		}
+		if plan.ExtraExec[pid] != float64(n-1)*5 {
+			t.Errorf("process %d: extra %v", pid, plan.ExtraExec[pid])
+		}
+		wcet := ar.Version(mapping[pid]).WCET[pid]
+		want := wcet/float64(n) + app.Procs[pid].Mu
+		if math.Abs(plan.Recovery[pid]-want) > 1e-12 {
+			t.Errorf("process %d: recovery %v, want %v", pid, plan.Recovery[pid], want)
+		}
+	}
+	// Bad inputs.
+	if _, err := NewPlan(app, ar, []int{0}, []int{1, 1}, o, 8); err == nil {
+		t.Error("want error for short mapping")
+	}
+	if _, err := NewPlan(app, ar, []int{0, 0, 1, 9}, []int{1, 1}, o, 8); err == nil {
+		t.Error("want error for bad mapping")
+	}
+	if _, err := NewPlan(app, ar, mapping, []int{1, 1}, Overheads{Chi: -1}, 8); err == nil {
+		t.Error("want error for bad overheads")
+	}
+}
+
+func TestNodeSegmentProbs(t *testing.T) {
+	app := paper.Fig1Application()
+	_, ar, mapping := fig4aSetup(t)
+	plan, err := NewPlan(app, ar, mapping, []int{1, 1}, Overheads{Chi: 1, Alpha: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := NodeSegmentProbs(app, ar, mapping, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 hosts P1 and P2: segment count sums match.
+	want0 := plan.Segments[0] + plan.Segments[1]
+	if len(probs[0]) != want0 {
+		t.Errorf("node 0: %d segment probs, want %d", len(probs[0]), want0)
+	}
+}
+
+// TestEvaluateCheckpointingBeatsReExecution: on the Fig. 4a architecture
+// with cheap checkpoints, checkpointing yields a shorter worst-case
+// schedule than plain re-execution because the recovery quantum shrinks
+// from a whole process to one segment.
+func TestEvaluateCheckpointingBeatsReExecution(t *testing.T) {
+	app := paper.Fig1Application()
+	pl, ar, mapping := fig4aSetup(t)
+	goal := sfp.Goal{Gamma: paper.Fig1Gamma, Tau: paper.Hour}
+
+	sol, err := Evaluate(app, ar, mapping, goal, Overheads{Chi: 1, Alpha: 1}, ttp.NewBus(2, pl.Bus.SlotLen), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatalf("checkpointing should be feasible: %+v", sol)
+	}
+	// Plain re-execution on the same configuration: worst case 340 ms
+	// (see the sched tests). Checkpointing must beat it.
+	if sol.Schedule.Length >= 340 {
+		t.Errorf("checkpointed worst case %v, want < 340 (re-execution)", sol.Schedule.Length)
+	}
+	// Segments were actually used.
+	usedSegments := false
+	for _, n := range sol.Plan.Segments {
+		if n > 1 {
+			usedSegments = true
+		}
+	}
+	if !usedSegments {
+		t.Error("no process was checkpointed")
+	}
+}
+
+// TestEvaluateExpensiveCheckpointsDegrade: with prohibitive overheads the
+// planner falls back to n = 1 (plain re-execution semantics).
+func TestEvaluateExpensiveCheckpointsDegrade(t *testing.T) {
+	app := paper.Fig1Application()
+	pl, ar, mapping := fig4aSetup(t)
+	goal := sfp.Goal{Gamma: paper.Fig1Gamma, Tau: paper.Hour}
+	sol, err := Evaluate(app, ar, mapping, goal, Overheads{Chi: 500, Alpha: 500}, ttp.NewBus(2, pl.Bus.SlotLen), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, n := range sol.Plan.Segments {
+		if n != 1 {
+			t.Errorf("process %d: %d segments despite prohibitive overheads", pid, n)
+		}
+	}
+}
+
+// TestEvaluateUnreachableGoal reports unreliable instead of looping.
+func TestEvaluateUnreachableGoal(t *testing.T) {
+	app := paper.Fig1Application()
+	pl, ar, mapping := fig4aSetup(t)
+	_ = pl
+	impossible := sfp.Goal{Gamma: 1e-300, Tau: paper.Hour}
+	sol, err := Evaluate(app, ar, mapping, impossible, Overheads{Chi: 1, Alpha: 1}, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Reliable {
+		t.Error("impossible goal reported reliable")
+	}
+	if sol.Feasible() {
+		t.Error("impossible goal reported feasible")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	app := paper.Fig1Application()
+	_, ar, mapping := fig4aSetup(t)
+	if _, err := Evaluate(app, ar, mapping, sfp.Goal{}, Overheads{}, nil, 8); err == nil {
+		t.Error("want error for invalid goal")
+	}
+	goal := sfp.Goal{Gamma: 1e-5, Tau: paper.Hour}
+	if _, err := Evaluate(app, ar, []int{9, 9, 9, 9}, goal, Overheads{}, nil, 8); err == nil {
+		t.Error("want error for invalid mapping")
+	}
+}
+
+// TestSharedSlackPlanTargetsQuantum: under shared slack only the
+// quantum-defining processes should be segmented; small processes stay
+// at n = 1.
+func TestSharedSlackPlanTargetsQuantum(t *testing.T) {
+	app := paper.Fig1Application()
+	_, ar, mapping := fig4aSetup(t)
+	plan, err := NewSharedSlackPlan(app, ar, mapping, []int{1, 1}, Overheads{Chi: 1, Alpha: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovery quantum of each node must have shrunk below the
+	// single-segment recovery cost of its largest process.
+	for j := 0; j < 2; j++ {
+		var maxRec, largestT float64
+		for pid := range mapping {
+			if mapping[pid] != j {
+				continue
+			}
+			if plan.Recovery[pid] > maxRec {
+				maxRec = plan.Recovery[pid]
+			}
+			if w := ar.Version(j).WCET[pid]; w > largestT {
+				largestT = w
+			}
+		}
+		if maxRec >= largestT+app.Procs[0].Mu {
+			t.Errorf("node %d: quantum %v did not shrink below %v", j, maxRec, largestT+app.Procs[0].Mu)
+		}
+	}
+}
+
+// TestSharedSlackPlanZeroK: with no re-executions, nothing is segmented.
+func TestSharedSlackPlanZeroK(t *testing.T) {
+	app := paper.Fig1Application()
+	_, ar, mapping := fig4aSetup(t)
+	plan, err := NewSharedSlackPlan(app, ar, mapping, []int{0, 0}, Overheads{Chi: 1, Alpha: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, n := range plan.Segments {
+		if n != 1 {
+			t.Errorf("process %d segmented with k=0", pid)
+		}
+	}
+}
+
+// TestSharedSlackPlanValidation mirrors the NewPlan error paths.
+func TestSharedSlackPlanValidation(t *testing.T) {
+	app := paper.Fig1Application()
+	_, ar, _ := fig4aSetup(t)
+	if _, err := NewSharedSlackPlan(app, ar, []int{0}, []int{1, 1}, Overheads{}, 8); err == nil {
+		t.Error("want error for short mapping")
+	}
+	if _, err := NewSharedSlackPlan(app, ar, []int{0, 0, 0, 9}, []int{1, 1}, Overheads{}, 8); err == nil {
+		t.Error("want error for bad mapping")
+	}
+	if _, err := NewSharedSlackPlan(app, ar, []int{0, 0, 1, 1}, []int{1, 1}, Overheads{Chi: -1}, 8); err == nil {
+		t.Error("want error for bad overheads")
+	}
+}

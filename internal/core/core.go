@@ -1,0 +1,221 @@
+// Package core implements the outer design optimization strategy of the
+// paper (Fig. 5): an exploration of candidate architectures that, for each
+// one, runs the tabu-search mapping optimization with its embedded
+// hardening/re-execution trade-off, and returns the cheapest architecture
+// that satisfies both the hard deadlines and the reliability goal.
+//
+// Three strategies are provided, matching the experimental evaluation of
+// Section 7:
+//
+//   - OPT — the full DesignStrategy with hardening optimization
+//     (RedundancyOpt) inside the mapping algorithm;
+//   - MIN — computation nodes fixed at their minimum hardening levels,
+//     fault tolerance achieved with software re-execution only;
+//   - MAX — computation nodes fixed at their maximum hardening levels.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/appmodel"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/redundancy"
+	"repro/internal/sched"
+	"repro/internal/sfp"
+	"repro/internal/ttp"
+)
+
+// Strategy selects the design strategy variant.
+type Strategy int
+
+const (
+	// OPT is the paper's full design optimization with the
+	// hardening/re-execution trade-off (Section 6).
+	OPT Strategy = iota
+	// MIN fixes all nodes at minimum hardening (software-only fault
+	// tolerance).
+	MIN
+	// MAX fixes all nodes at maximum hardening.
+	MAX
+)
+
+// String returns the strategy name as used in the paper's plots.
+func (s Strategy) String() string {
+	switch s {
+	case OPT:
+		return "OPT"
+	case MIN:
+		return "MIN"
+	case MAX:
+		return "MAX"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a design run.
+type Options struct {
+	// Goal is the reliability goal ρ = 1 − γ per time unit τ.
+	Goal sfp.Goal
+	// Strategy selects OPT (default), MIN or MAX.
+	Strategy Strategy
+	// MaxK caps re-executions per node (0 = sfp.DefaultMaxK).
+	MaxK int
+	// Model selects the recovery-slack accounting (default shared).
+	Model sched.SlackModel
+	// MappingParams tunes the tabu search (zero values = defaults).
+	MappingParams mapping.Params
+	// MaxCost, when positive, prunes architectures whose minimum
+	// attainable cost already exceeds it and rejects final solutions
+	// above it. It corresponds to the maximum architectural cost ArC of
+	// the experimental evaluation.
+	MaxCost float64
+}
+
+// Result is the outcome of a design run.
+type Result struct {
+	// Feasible reports whether any architecture satisfied both the
+	// deadlines and the reliability goal (within MaxCost, if set).
+	Feasible bool
+	// Arch is the selected architecture with its final hardening levels
+	// (nil when infeasible).
+	Arch *platform.Architecture
+	// Mapping assigns each process to an index into Arch.Nodes.
+	Mapping []int
+	// Ks are the re-execution counts per architecture node.
+	Ks []int
+	// Schedule is the final static schedule.
+	Schedule *sched.Schedule
+	// Cost is the total architecture cost.
+	Cost float64
+	// ArchsExplored counts candidate architectures evaluated.
+	ArchsExplored int
+	// Evaluations counts RedundancyOpt invocations across the run.
+	Evaluations int
+}
+
+// Run executes the selected design strategy on the application over the
+// platform's available nodes and returns the cheapest feasible
+// implementation found.
+//
+// The exploration follows Fig. 5: start with the fastest monoprocessor
+// architecture; whenever the application is unschedulable on the best
+// mapping of the current architecture, grow the architecture by one node;
+// otherwise record the cost-optimized solution and move to the next
+// fastest architecture of the same size; prune architectures whose
+// minimum cost cannot beat the best cost so far.
+func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(app.NumProcesses()); err != nil {
+		return nil, err
+	}
+	if err := opts.Goal.Validate(); err != nil {
+		return nil, err
+	}
+
+	enum := platform.NewEnumerator(pl)
+	res := &Result{}
+	bestCost := opts.MaxCost
+	if bestCost <= 0 {
+		bestCost = 1e308
+	}
+
+	n, idx := 1, 0
+	for n <= enum.MaxNodes() {
+		ar := enum.Arch(n, idx)
+		if ar == nil { // size-n candidates exhausted
+			n++
+			idx = 0
+			continue
+		}
+		res.ArchsExplored++
+
+		// Fig. 5 line 6: skip architectures whose floor cost is already
+		// too high. For MAX the fixed levels determine the cost floor.
+		floor := ar.MinCost()
+		if opts.Strategy == MAX {
+			ar.SetMaxHardening()
+			floor = ar.Cost()
+		}
+		if floor >= bestCost {
+			idx++
+			continue
+		}
+
+		prob := problem(app, pl, ar, opts)
+
+		// Fig. 5 line 7: best mapping for schedule length.
+		sl, err := mapping.Optimize(prob, nil, mapping.ScheduleLength, opts.MappingParams)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations += sl.Evaluations
+
+		if !sl.Solution.Feasible() {
+			// Unschedulable (or unreliable) even at the best mapping:
+			// grow the architecture (Fig. 5 line 15).
+			n++
+			idx = 0
+			continue
+		}
+
+		// Fig. 5 line 9: re-optimize the mapping for architecture cost,
+		// seeded with the schedulable mapping.
+		co, err := mapping.Optimize(prob, sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations += co.Evaluations
+
+		cand := co
+		if !co.Solution.Feasible() {
+			cand = sl // defensive: keep the feasible schedule-length result
+		}
+		if cand.Solution.Feasible() && cand.Solution.Cost < bestCost {
+			bestCost = cand.Solution.Cost
+			final := ar.Clone()
+			copy(final.Levels, cand.Solution.Levels)
+			res.Feasible = true
+			res.Arch = final
+			res.Mapping = cand.Mapping
+			res.Ks = cand.Solution.Ks
+			res.Schedule = cand.Solution.Schedule
+			res.Cost = cand.Solution.Cost
+		}
+		idx++
+	}
+	return res, nil
+}
+
+// problem assembles the redundancy.Problem for one candidate architecture
+// under the chosen strategy.
+func problem(app *appmodel.Application, pl *platform.Platform, ar *platform.Architecture, opts Options) redundancy.Problem {
+	p := redundancy.Problem{
+		App:   app,
+		Arch:  ar,
+		Goal:  opts.Goal,
+		MaxK:  opts.MaxK,
+		Model: opts.Model,
+	}
+	if pl.Bus.SlotLen > 0 {
+		p.Bus = ttp.NewBus(len(ar.Nodes), pl.Bus.SlotLen)
+	}
+	switch opts.Strategy {
+	case MIN:
+		levels := make([]int, len(ar.Nodes))
+		for j, nd := range ar.Nodes {
+			levels[j] = nd.MinLevel()
+		}
+		p.FixedLevels = levels
+	case MAX:
+		levels := make([]int, len(ar.Nodes))
+		for j, nd := range ar.Nodes {
+			levels[j] = nd.MaxLevel()
+		}
+		p.FixedLevels = levels
+	}
+	return p
+}

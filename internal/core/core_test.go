@@ -1,0 +1,269 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/sfp"
+)
+
+func fig1Opts(s Strategy) Options {
+	return Options{
+		Goal:     sfp.Goal{Gamma: paper.Fig1Gamma, Tau: paper.Hour},
+		Strategy: s,
+	}
+}
+
+func fig3Opts(s Strategy) Options {
+	return Options{
+		Goal:     sfp.Goal{Gamma: paper.Fig3Gamma, Tau: paper.Hour},
+		Strategy: s,
+	}
+}
+
+// TestFig3Strategies reproduces the first motivational example across all
+// three strategies: MIN (no hardening, k = 6) misses the deadline; MAX
+// (maximum hardening) is feasible but costs 40; OPT selects the middle
+// h-version at cost 20 — half of MAX, as the paper argues.
+func TestFig3Strategies(t *testing.T) {
+	app := paper.Fig3Application()
+	pl := paper.Fig3Platform()
+
+	min, err := Run(app, pl, fig3Opts(MIN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Feasible {
+		t.Error("MIN should be infeasible on Fig. 3 (680 ms > 360 ms)")
+	}
+
+	max, err := Run(app, pl, fig3Opts(MAX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !max.Feasible || max.Cost != 40 {
+		t.Errorf("MAX: feasible=%v cost=%v, want feasible at 40", max.Feasible, max.Cost)
+	}
+
+	opt, err := Run(app, pl, fig3Opts(OPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Feasible || opt.Cost != 20 {
+		t.Errorf("OPT: feasible=%v cost=%v, want feasible at 20", opt.Feasible, opt.Cost)
+	}
+	if opt.Arch.Levels[0] != 2 || opt.Ks[0] != 2 {
+		t.Errorf("OPT chose level %d k=%d, want level 2 with k=2", opt.Arch.Levels[0], opt.Ks[0])
+	}
+}
+
+// TestFig1Strategies runs the full design strategies on the Fig. 1
+// application. OPT must beat MAX on cost (the paper's headline claim) and
+// come in at or below the paper's hand-derived 72.
+func TestFig1Strategies(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+
+	opt, err := Run(app, pl, fig1Opts(OPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Feasible {
+		t.Fatal("OPT should find a feasible implementation of Fig. 1")
+	}
+	if opt.Cost > 72 {
+		t.Errorf("OPT cost = %v, want ≤ 72", opt.Cost)
+	}
+	if !opt.Schedule.Schedulable(app) {
+		t.Error("final OPT schedule violates deadlines")
+	}
+
+	max, err := Run(app, pl, fig1Opts(MAX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !max.Feasible {
+		t.Fatal("MAX should be feasible on Fig. 1 (e.g. N2^3 monoprocessor)")
+	}
+	if opt.Cost >= max.Cost {
+		t.Errorf("OPT (%v) should be cheaper than MAX (%v)", opt.Cost, max.Cost)
+	}
+
+	min, err := Run(app, pl, fig1Opts(MIN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With p ≈ 1e-3 the unhardened nodes need k ≈ 3 re-executions each,
+	// whose recovery slack blows every deadline: software-only fault
+	// tolerance cannot implement Fig. 1.
+	if min.Feasible {
+		t.Errorf("MIN unexpectedly feasible at cost %v", min.Cost)
+	}
+}
+
+// TestMaxCostPruning: OPT on Fig. 1 finds cost ≤ 72; with a budget below
+// that cost the run must report infeasible, with a budget just above it
+// the same solution must be found.
+func TestMaxCostPruning(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+
+	unbounded, err := Run(app, pl, fig1Opts(OPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unbounded.Feasible {
+		t.Fatal("unbounded OPT infeasible")
+	}
+
+	tight := fig1Opts(OPT)
+	tight.MaxCost = unbounded.Cost - 1
+	res, err := Run(app, pl, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Errorf("budget %v below optimum %v should be infeasible", tight.MaxCost, unbounded.Cost)
+	}
+
+	loose := fig1Opts(OPT)
+	loose.MaxCost = unbounded.Cost + 1
+	res, err = Run(app, pl, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Cost != unbounded.Cost {
+		t.Errorf("budget %v: feasible=%v cost=%v, want optimum %v", loose.MaxCost, res.Feasible, res.Cost, unbounded.Cost)
+	}
+}
+
+// TestRunValidatesInputs covers the input validation paths.
+func TestRunValidatesInputs(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	good := fig1Opts(OPT)
+
+	bad := *app
+	bad.Procs = nil
+	if _, err := Run(&bad, pl, good); err == nil {
+		t.Error("want error for invalid application")
+	}
+
+	badPl := *pl
+	badPl.Nodes = nil
+	if _, err := Run(app, &badPl, good); err == nil {
+		t.Error("want error for invalid platform")
+	}
+
+	badOpts := good
+	badOpts.Goal = sfp.Goal{}
+	if _, err := Run(app, pl, badOpts); err == nil {
+		t.Error("want error for invalid goal")
+	}
+}
+
+// TestResultBookkeeping: exploration counters are populated.
+func TestResultBookkeeping(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	res, err := Run(app, pl, fig1Opts(OPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArchsExplored == 0 || res.Evaluations == 0 {
+		t.Errorf("counters not populated: %+v", res)
+	}
+	if len(res.Mapping) != app.NumProcesses() {
+		t.Errorf("mapping covers %d of %d", len(res.Mapping), app.NumProcesses())
+	}
+	if len(res.Ks) != len(res.Arch.Nodes) {
+		t.Errorf("ks cover %d of %d nodes", len(res.Ks), len(res.Arch.Nodes))
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if OPT.String() != "OPT" || MIN.String() != "MIN" || MAX.String() != "MAX" {
+		t.Error("strategy names changed")
+	}
+	if Strategy(7).String() != "Strategy(7)" {
+		t.Error("unknown strategy formatting")
+	}
+}
+
+// TestOptNeverWorseThanBaselines is the structural dominance property the
+// whole paper rests on: OPT explores a superset of both MIN's and MAX's
+// configuration spaces, so whenever a baseline is feasible OPT must be
+// feasible with at most that cost.
+func TestOptNeverWorseThanBaselines(t *testing.T) {
+	for _, fixture := range []struct {
+		name string
+		run  func(Strategy) (*Result, error)
+	}{
+		{"fig1", func(s Strategy) (*Result, error) {
+			return Run(paper.Fig1Application(), paper.Fig1Platform(), fig1Opts(s))
+		}},
+		{"fig3", func(s Strategy) (*Result, error) {
+			return Run(paper.Fig3Application(), paper.Fig3Platform(), fig3Opts(s))
+		}},
+	} {
+		opt, err := fixture.run(OPT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range []Strategy{MIN, MAX} {
+			res, err := fixture.run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Feasible {
+				if !opt.Feasible {
+					t.Errorf("%s: %v feasible but OPT infeasible", fixture.name, base)
+				} else if opt.Cost > res.Cost {
+					t.Errorf("%s: OPT cost %v exceeds %v cost %v", fixture.name, opt.Cost, base, res.Cost)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeterministic: identical inputs yield identical results — the
+// whole pipeline is deterministic by construction.
+func TestRunDeterministic(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	a, err := Run(app, pl, fig1Opts(OPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(app, pl, fig1Opts(OPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.Feasible != b.Feasible || a.ArchsExplored != b.ArchsExplored {
+		t.Errorf("nondeterministic results: %+v vs %+v", a, b)
+	}
+	for i := range a.Mapping {
+		if a.Mapping[i] != b.Mapping[i] {
+			t.Fatalf("mappings differ at %d", i)
+		}
+	}
+}
+
+// TestRunInfeasibleEverywhere: a platform that can never meet the goal
+// reports infeasible without error.
+func TestRunInfeasibleEverywhere(t *testing.T) {
+	app := paper.Fig3Application()
+	pl := paper.Fig3Platform()
+	opts := fig3Opts(OPT)
+	opts.Goal.Gamma = 1e-300 // unreachable
+	res, err := Run(app, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("unreachable goal reported feasible")
+	}
+	if res.Arch != nil {
+		t.Error("infeasible result should carry no architecture")
+	}
+}

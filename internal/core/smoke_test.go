@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/taskgen"
+)
+
+// TestSyntheticShapes checks, on a small synthetic batch, the qualitative
+// relationships the paper's evaluation rests on: OPT accepts at least as
+// many applications as MIN and MAX, and MIN degrades as the error rate
+// grows while OPT resists.
+func TestSyntheticShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic batch")
+	}
+	accept := func(ser float64) map[Strategy]int {
+		acc := map[Strategy]int{}
+		const trials = 6
+		for seed := int64(0); seed < trials; seed++ {
+			inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, 20, ser, 25))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []Strategy{MIN, MAX, OPT} {
+				res, err := Run(inst.App, inst.Platform, Options{
+					Goal: inst.Goal, Strategy: s, MaxCost: 20,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Feasible {
+					acc[s]++
+				}
+			}
+		}
+		return acc
+	}
+	low := accept(1e-12)
+	high := accept(1e-10)
+	for _, acc := range []map[Strategy]int{low, high} {
+		if acc[OPT] < acc[MIN] || acc[OPT] < acc[MAX] {
+			t.Errorf("OPT below a baseline: %v", acc)
+		}
+	}
+	if high[MIN] > low[MIN] {
+		t.Errorf("MIN improved with a higher error rate: %d vs %d", high[MIN], low[MIN])
+	}
+	if high[OPT] < high[MIN] {
+		t.Errorf("OPT below MIN at high SER: %v", high)
+	}
+}
+
+// TestLargeApplication: a 100-process instance runs through the full
+// strategy without pathological blowup.
+func TestLargeApplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	inst, err := taskgen.Generate(taskgen.DefaultConfig(3, 100, 1e-11, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(inst.App, inst.Platform, Options{Goal: inst.Goal, Strategy: OPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible && !res.Schedule.Schedulable(inst.App) {
+		t.Error("claimed feasible but schedule violates deadlines")
+	}
+}

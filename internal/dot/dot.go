@@ -1,0 +1,87 @@
+// Package dot exports applications and design results as Graphviz DOT
+// documents: the task graphs with their messages, and optionally the
+// mapping decoration (one color per computation node) of a completed
+// design run.
+package dot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/appmodel"
+	"repro/internal/platform"
+)
+
+// palette holds fill colors assigned to architecture nodes, recycled when
+// there are more nodes than colors.
+var palette = []string{
+	"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99",
+}
+
+// Options controls the rendering.
+type Options struct {
+	// Arch and Mapping, when both set, color each process by the
+	// architecture node it is mapped on and label it with the node name.
+	Arch    *platform.Architecture
+	Mapping []int
+	// WCET, when set, annotates each process with its execution time.
+	WCET []float64
+	// RankLR lays the graph out left-to-right instead of top-down.
+	RankLR bool
+}
+
+// Write emits the application as a DOT digraph.
+func Write(w io.Writer, app *appmodel.Application, opts Options) error {
+	if app == nil {
+		return fmt.Errorf("dot: nil application")
+	}
+	if opts.Mapping != nil && len(opts.Mapping) != app.NumProcesses() {
+		return fmt.Errorf("dot: mapping covers %d of %d processes", len(opts.Mapping), app.NumProcesses())
+	}
+	if opts.WCET != nil && len(opts.WCET) != app.NumProcesses() {
+		return fmt.Errorf("dot: WCET table covers %d of %d processes", len(opts.WCET), app.NumProcesses())
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %s {\n", quote(app.Name))
+	if opts.RankLR {
+		sb.WriteString("  rankdir=LR;\n")
+	}
+	sb.WriteString("  node [shape=ellipse, style=filled, fillcolor=white];\n")
+	for gi := range app.Graphs {
+		g := &app.Graphs[gi]
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n", gi)
+		fmt.Fprintf(&sb, "    label=%s;\n", quote(fmt.Sprintf("%s (D=%g ms)", g.Name, g.Deadline)))
+		for _, pid := range g.Procs {
+			label := app.Procs[pid].Name
+			if opts.WCET != nil {
+				label = fmt.Sprintf("%s\n%g ms", label, opts.WCET[pid])
+			}
+			attrs := fmt.Sprintf("label=%s", quote(label))
+			if opts.Arch != nil && opts.Mapping != nil {
+				j := opts.Mapping[pid]
+				if j >= 0 && j < len(opts.Arch.Nodes) {
+					attrs += fmt.Sprintf(", fillcolor=%s", quote(palette[j%len(palette)]))
+					attrs += fmt.Sprintf(", xlabel=%s", quote(opts.Arch.Nodes[j].Name))
+				}
+			}
+			fmt.Fprintf(&sb, "    p%d [%s];\n", pid, attrs)
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, e := range app.Edges {
+		style := ""
+		if opts.Mapping != nil && opts.Mapping[e.Src] != opts.Mapping[e.Dst] {
+			style = ", style=bold" // crosses the bus
+		}
+		fmt.Fprintf(&sb, "  p%d -> p%d [label=%s%s];\n", e.Src, e.Dst, quote(e.Name), style)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// quote renders a DOT double-quoted string.
+func quote(s string) string {
+	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s) + `"`
+}

@@ -1,0 +1,82 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/platform"
+)
+
+func TestWritePlain(t *testing.T) {
+	app := paper.Fig1Application()
+	var sb strings.Builder
+	if err := Write(&sb, app, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "A" {`,
+		"subgraph cluster_0",
+		`label="G1 (D=360 ms)"`,
+		`p0 [label="P1"]`,
+		`p0 -> p1 [label="m1"]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestWriteMappedAndAnnotated(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0], &pl.Nodes[1]})
+	mapping := []int{0, 0, 1, 1}
+	wcet := []float64{75, 90, 60, 75}
+	var sb strings.Builder
+	err := Write(&sb, app, Options{Arch: ar, Mapping: mapping, WCET: wcet, RankLR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"rankdir=LR",
+		"fillcolor=", `xlabel="N1"`, `xlabel="N2"`,
+		`75 ms`,
+		"style=bold", // m2 crosses nodes
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Intra-node m1 (P1->P2) must not be bold.
+	if strings.Contains(out, `p0 -> p1 [label="m1", style=bold]`) {
+		t.Error("intra-node edge rendered bold")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	app := paper.Fig1Application()
+	var sb strings.Builder
+	if err := Write(&sb, nil, Options{}); err == nil {
+		t.Error("want error for nil application")
+	}
+	if err := Write(&sb, app, Options{Mapping: []int{0}}); err == nil {
+		t.Error("want error for short mapping")
+	}
+	if err := Write(&sb, app, Options{WCET: []float64{1}}); err == nil {
+		t.Error("want error for short WCET table")
+	}
+}
+
+func TestQuote(t *testing.T) {
+	if got := quote(`a"b\c` + "\n"); got != `"a\"b\\c\n"` {
+		t.Errorf("quote = %s", got)
+	}
+}

@@ -1,0 +1,260 @@
+package execsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/ttp"
+)
+
+// fig3Input builds the Fig. 3 single-process system at level 2 with k=2.
+func fig3Input(t *testing.T, faults []int) Input {
+	t.Helper()
+	app := paper.Fig3Application()
+	pl := paper.Fig3Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0]})
+	ar.Levels[0] = 2
+	static, err := sched.Build(sched.Input{App: app, Arch: ar, Mapping: []int{0}, Ks: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{
+		App: app, Arch: ar, Mapping: []int{0}, Ks: []int{2},
+		Static: static, Faults: faults,
+	}
+}
+
+func TestRunFaultFree(t *testing.T) {
+	res, err := Run(fig3Input(t, []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 100 {
+		t.Errorf("fault-free makespan %v, want 100 (t at level 2)", res.Makespan)
+	}
+	if res.DeadlineMiss || res.BudgetExceeded {
+		t.Error("clean run flagged")
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	// Two faults: 100 + 2×(100+20) = 340, exactly the analyzed worst
+	// case and within the 360 ms deadline.
+	res, err := Run(fig3Input(t, []int{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 340 {
+		t.Errorf("makespan %v, want 340", res.Makespan)
+	}
+	if res.DeadlineMiss {
+		t.Error("within-budget faults missed the deadline")
+	}
+	if res.BudgetExceeded {
+		t.Error("budget wrongly flagged")
+	}
+}
+
+func TestRunBudgetOverrun(t *testing.T) {
+	res, err := Run(fig3Input(t, []int{3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BudgetExceeded {
+		t.Error("three faults against k=2 should overrun the budget")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	in := fig3Input(t, []int{0})
+	bad := in
+	bad.Faults = []int{-1}
+	if _, err := Run(bad); err == nil {
+		t.Error("want error for negative faults")
+	}
+	bad = in
+	bad.Faults = []int{0, 0}
+	if _, err := Run(bad); err == nil {
+		t.Error("want error for wrong fault vector size")
+	}
+	bad = in
+	bad.Static = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("want error for missing static schedule")
+	}
+	bad = in
+	bad.Ks = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("want error for missing budgets")
+	}
+}
+
+// fig4aInput builds the two-node Fig. 4a system.
+func fig4aInput(t *testing.T, faults []int) Input {
+	t.Helper()
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0], &pl.Nodes[1]})
+	ar.Levels = []int{2, 2}
+	mapping := []int{0, 0, 1, 1}
+	static, err := sched.Build(sched.Input{
+		App: app, Arch: ar, Mapping: mapping, Ks: []int{1, 1},
+		Bus: ttp.NewBus(2, pl.Bus.SlotLen),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{
+		App: app, Arch: ar, Mapping: mapping, Ks: []int{1, 1},
+		Bus: ttp.NewBus(2, pl.Bus.SlotLen), Static: static, Faults: faults,
+	}
+}
+
+// TestFig4aFaultFreeMatchesStatic: with no faults, the simulated finish
+// times equal the static schedule's fault-free times.
+func TestFig4aFaultFreeMatchesStatic(t *testing.T) {
+	in := fig4aInput(t, []int{0, 0, 0, 0})
+	res, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, f := range res.Finish {
+		if math.Abs(f-in.Static.Finish[pid]) > 1e-9 {
+			t.Errorf("process %d: simulated %v vs static %v", pid, f, in.Static.Finish[pid])
+		}
+	}
+}
+
+// TestSingleNodeGuarantee: for a monoprocessor system, every fault
+// pattern within the budget finishes within the analyzed worst case (the
+// shared-slack bound is per-node sound).
+func TestSingleNodeGuarantee(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[1]})
+	ar.Levels[0] = 2
+	mapping := []int{0, 0, 0, 0}
+	ks := []int{2}
+	static, err := sched.Build(sched.Input{App: app, Arch: ar, Mapping: mapping, Ks: ks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ways to distribute 2 faults over 4 processes.
+	for a := 0; a < 4; a++ {
+		for b := a; b < 4; b++ {
+			faults := make([]int, 4)
+			faults[a]++
+			faults[b]++
+			res, err := Run(Input{
+				App: app, Arch: ar, Mapping: mapping, Ks: ks,
+				Static: static, Faults: faults,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BudgetExceeded {
+				t.Fatalf("pattern (%d,%d) within budget flagged as overrun", a, b)
+			}
+			if res.Makespan > static.Length+1e-9 {
+				t.Errorf("pattern (%d,%d): makespan %v exceeds analyzed bound %v",
+					a, b, res.Makespan, static.Length)
+			}
+		}
+	}
+}
+
+func TestCampaignWithinBudget(t *testing.T) {
+	in := fig4aInput(t, nil)
+	c := Campaign{Input: in, Iterations: 500, Seed: 3, WithinBudget: true}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetOverruns != 0 {
+		t.Errorf("%d overruns in within-budget sampling", res.BudgetOverruns)
+	}
+	if res.MaxMakespan <= 0 || res.MeanMakespan <= 0 {
+		t.Error("statistics not populated")
+	}
+	if res.MaxMakespan < res.MeanMakespan {
+		t.Error("max below mean")
+	}
+}
+
+func TestCampaignProbabilistic(t *testing.T) {
+	in := fig4aInput(t, nil)
+	c := Campaign{Input: in, Iterations: 2000, Seed: 4}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With p ≈ 1e-5 per process, essentially every iteration is
+	// fault-free: mean ≈ fault-free makespan, no deadline misses.
+	if res.DeadlineMisses != 0 {
+		t.Errorf("%d deadline misses at p≈1e-5", res.DeadlineMisses)
+	}
+	if math.Abs(res.MeanMakespan-250) > 10 {
+		t.Errorf("mean makespan %v, want ≈250 (fault-free)", res.MeanMakespan)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := (&Campaign{Iterations: 0}).Run(); err == nil {
+		t.Error("want error for zero iterations")
+	}
+	if _, err := (&Campaign{Iterations: 1}).Run(); err == nil {
+		t.Error("want error for missing application")
+	}
+}
+
+// TestMakespanMonotoneInFaults: adding a fault to any process never
+// shortens the simulated makespan.
+func TestMakespanMonotoneInFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := fig4aInput(t, nil)
+	for trial := 0; trial < 100; trial++ {
+		faults := make([]int, 4)
+		total := 0
+		for pid := range faults {
+			faults[pid] = rng.Intn(2)
+			total += faults[pid]
+		}
+		if total > 2 {
+			continue // stay within combined budget to avoid suppression
+		}
+		base := in
+		base.Faults = faults
+		base.Bus = ttp.NewBus(2, 5)
+		r1, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		more := in
+		more.Faults = append([]int(nil), faults...)
+		pid := rng.Intn(4)
+		// Keep the target node within budget.
+		node := in.Mapping[pid]
+		used := 0
+		for q, f := range faults {
+			if in.Mapping[q] == node {
+				used += f
+			}
+		}
+		if used >= in.Ks[node] {
+			continue
+		}
+		more.Faults[pid]++
+		more.Bus = ttp.NewBus(2, 5)
+		r2, err := Run(more)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Makespan < r1.Makespan-1e-9 {
+			t.Fatalf("trial %d: extra fault shortened makespan (%v -> %v)", trial, r1.Makespan, r2.Makespan)
+		}
+	}
+}

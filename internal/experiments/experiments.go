@@ -1,0 +1,245 @@
+// Package experiments is the evaluation harness reproducing Section 7 of
+// the paper: acceptance-rate sweeps over hardening performance degradation
+// (HPD), soft error rate (SER) and maximum architecture cost (ArC) for the
+// MIN, MAX and OPT design strategies on batches of synthetic applications,
+// plus the ablation studies called out in DESIGN.md.
+//
+// An application is accepted when the strategy finds an implementation
+// that meets its reliability goal, is schedulable, and does not exceed the
+// maximum architectural cost.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+)
+
+// Config controls batch size and execution of an experiment run.
+type Config struct {
+	// Apps is the number of synthetic applications per process count
+	// (the paper uses 150; the default harness uses fewer for a quick
+	// turnaround — pass -apps to cmd/paperbench for full scale).
+	Apps int
+	// Procs lists the application sizes (paper: 20 and 40).
+	Procs []int
+	// Seed bases the deterministic generation.
+	Seed int64
+	// Workers bounds the parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MappingParams tunes the tabu search.
+	MappingParams mapping.Params
+	// Model selects the recovery-slack accounting for all runs.
+	Model sched.SlackModel
+	// Graphs splits each generated application into this many task
+	// graphs (0 or 1 = single graph).
+	Graphs int
+}
+
+// DefaultConfig returns a configuration sized for minutes-scale runs.
+func DefaultConfig() Config {
+	return Config{Apps: 20, Procs: []int{20, 40}, Seed: 1}
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Point is one configuration of the sweep space.
+type Point struct {
+	SER float64 // transient error rate per cycle at minimum hardening
+	HPD float64 // hardening performance degradation, percent
+	ArC float64 // maximum architectural cost
+}
+
+// Rates maps each strategy to its acceptance percentage at a point.
+type Rates map[core.Strategy]float64
+
+// Acceptance evaluates all three strategies at the given point over the
+// configured application batch and returns the acceptance percentages.
+func Acceptance(cfg Config, pt Point) (Rates, error) {
+	strategies := []core.Strategy{core.MIN, core.MAX, core.OPT}
+	type job struct {
+		seed  int64
+		procs int
+	}
+	var jobs []job
+	for _, n := range cfg.Procs {
+		for i := 0; i < cfg.Apps; i++ {
+			jobs = append(jobs, job{seed: cfg.Seed + int64(i) + int64(n)*1000003, procs: n})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("experiments: empty batch (Apps=%d, Procs=%v)", cfg.Apps, cfg.Procs)
+	}
+
+	counts := make(map[core.Strategy]int)
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, cfg.workers())
+	var wg sync.WaitGroup
+	for _, jb := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(jb job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			gcfg := taskgen.DefaultConfig(jb.seed, jb.procs, pt.SER, pt.HPD)
+			gcfg.NumGraphs = cfg.Graphs
+			inst, err := taskgen.Generate(gcfg)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for _, s := range strategies {
+				res, err := core.Run(inst.App, inst.Platform, core.Options{
+					Goal:          inst.Goal,
+					Strategy:      s,
+					MaxCost:       pt.ArC,
+					Model:         cfg.Model,
+					MappingParams: cfg.MappingParams,
+				})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if res.Feasible {
+					mu.Lock()
+					counts[s]++
+					mu.Unlock()
+				}
+			}
+		}(jb)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rates := make(Rates, len(strategies))
+	for _, s := range strategies {
+		rates[s] = 100 * float64(counts[s]) / float64(len(jobs))
+	}
+	return rates, nil
+}
+
+// Sweep evaluates a list of points and returns the rates in order.
+func Sweep(cfg Config, pts []Point) ([]Rates, error) {
+	out := make([]Rates, len(pts))
+	for i, pt := range pts {
+		r, err := Acceptance(cfg, pt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: point %+v: %w", pt, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// The sweep axes of the paper's Fig. 6.
+var (
+	// HPDs are the hardening performance degradations of Fig. 6a/6b.
+	HPDs = []float64{5, 25, 50, 100}
+	// SERs are the soft error rates of Fig. 6c/6d.
+	SERs = []float64{1e-12, 1e-11, 1e-10}
+	// ArCs are the maximum architecture costs of Fig. 6b.
+	ArCs = []float64{15, 20, 25}
+)
+
+// Fig6a reproduces Fig. 6a: % accepted architectures as a function of HPD
+// for SER = 1e-11 and ArC = 20.
+func Fig6a(cfg Config) (*Table, error) {
+	pts := make([]Point, len(HPDs))
+	for i, hpd := range HPDs {
+		pts[i] = Point{SER: 1e-11, HPD: hpd, ArC: 20}
+	}
+	rates, err := Sweep(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Fig. 6a — % accepted vs HPD (SER=1e-11, ArC=20)",
+		append([]string{"strategy"}, labels(HPDs, "HPD=%g%%")...))
+	for _, s := range []core.Strategy{core.MAX, core.MIN, core.OPT} {
+		row := []string{s.String()}
+		for i := range pts {
+			row = append(row, fmt.Sprintf("%.0f", rates[i][s]))
+		}
+		t.AddRow(row)
+	}
+	return t, nil
+}
+
+// Fig6b reproduces the Fig. 6b table: % accepted for each HPD and maximum
+// architecture cost at SER = 1e-11.
+func Fig6b(cfg Config) (*Table, error) {
+	t := NewTable("Fig. 6b — % accepted by HPD and ArC (SER=1e-11)",
+		[]string{"HPD", "ArC", "MAX", "MIN", "OPT"})
+	for _, hpd := range HPDs {
+		for _, arc := range ArCs {
+			r, err := Acceptance(cfg, Point{SER: 1e-11, HPD: hpd, ArC: arc})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow([]string{
+				fmt.Sprintf("%g%%", hpd),
+				fmt.Sprintf("%g", arc),
+				fmt.Sprintf("%.0f", r[core.MAX]),
+				fmt.Sprintf("%.0f", r[core.MIN]),
+				fmt.Sprintf("%.0f", r[core.OPT]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig6c reproduces Fig. 6c: % accepted as a function of SER for HPD = 5%
+// and ArC = 20.
+func Fig6c(cfg Config) (*Table, error) { return serSweep(cfg, 5, "Fig. 6c") }
+
+// Fig6d reproduces Fig. 6d: % accepted as a function of SER for HPD =
+// 100% and ArC = 20.
+func Fig6d(cfg Config) (*Table, error) { return serSweep(cfg, 100, "Fig. 6d") }
+
+func serSweep(cfg Config, hpd float64, name string) (*Table, error) {
+	pts := make([]Point, len(SERs))
+	for i, ser := range SERs {
+		pts[i] = Point{SER: ser, HPD: hpd, ArC: 20}
+	}
+	rates, err := Sweep(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(fmt.Sprintf("%s — %% accepted vs SER (HPD=%g%%, ArC=20)", name, hpd),
+		append([]string{"strategy"}, labels(SERs, "SER=%.0e")...))
+	for _, s := range []core.Strategy{core.MAX, core.MIN, core.OPT} {
+		row := []string{s.String()}
+		for i := range pts {
+			row = append(row, fmt.Sprintf("%.0f", rates[i][s]))
+		}
+		t.AddRow(row)
+	}
+	return t, nil
+}
+
+func labels(xs []float64, format string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf(format, x)
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyConfig keeps test runtime reasonable; determinism makes the results
+// stable for a given Go release.
+func tinyConfig() Config {
+	return Config{Apps: 2, Procs: []int{20}, Seed: 3}
+}
+
+func TestAcceptanceBasics(t *testing.T) {
+	r, err := Acceptance(tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
+		v, ok := r[s]
+		if !ok {
+			t.Fatalf("missing strategy %v", s)
+		}
+		if v < 0 || v > 100 {
+			t.Errorf("%v rate %v outside [0,100]", s, v)
+		}
+	}
+}
+
+func TestAcceptanceEmptyBatch(t *testing.T) {
+	cfg := Config{Apps: 0, Procs: nil}
+	if _, err := Acceptance(cfg, Point{SER: 1e-11, HPD: 25, ArC: 20}); err == nil {
+		t.Error("want error for empty batch")
+	}
+}
+
+func TestAcceptanceDeterministic(t *testing.T) {
+	pt := Point{SER: 1e-11, HPD: 25, ArC: 20}
+	a, err := Acceptance(tinyConfig(), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Acceptance(tinyConfig(), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, v := range a {
+		if b[s] != v {
+			t.Errorf("strategy %v: %v then %v for identical config", s, v, b[s])
+		}
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab, err := Fig6a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 strategies", len(tab.Rows))
+	}
+	if len(tab.Header) != 1+len(HPDs) {
+		t.Fatalf("%d columns, want %d", len(tab.Header), 1+len(HPDs))
+	}
+	// MIN is flat across HPD: it never uses hardened versions, and the
+	// generated deadlines are HPD-independent.
+	var minRow []string
+	for _, row := range tab.Rows {
+		if row[0] == "MIN" {
+			minRow = row
+		}
+	}
+	if minRow == nil {
+		t.Fatal("no MIN row")
+	}
+	for i := 2; i < len(minRow); i++ {
+		if minRow[i] != minRow[1] {
+			t.Errorf("MIN not flat across HPD: %v", minRow)
+		}
+	}
+}
+
+func TestSerSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab, err := Fig6c(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Header) != 1+len(SERs) {
+		t.Fatalf("unexpected table shape: %dx%d", len(tab.Rows), len(tab.Header))
+	}
+	if !strings.Contains(tab.Title, "Fig. 6c") {
+		t.Errorf("title %q", tab.Title)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("T", []string{"a", "bb"})
+	tab.AddRow([]string{"1"}) // short row gets padded
+	tab.AddRow([]string{"22", "333"})
+	s := tab.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "333") {
+		t.Errorf("render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? no: title+header+rule+2 rows = 5
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), s)
+		}
+	}
+}
+
+func TestAblationGradient(t *testing.T) {
+	tab, err := AblationGradient(tinyConfig(), 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tab.Rows))
+	}
+	// The gradient-guided policy should never need more total
+	// re-executions than uniform lockstep on these seeds.
+	var guided, uniform string
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "gradient") {
+			guided = row[1]
+		} else {
+			uniform = row[1]
+		}
+	}
+	if guided == "" || uniform == "" {
+		t.Fatalf("rows missing: %v", tab.Rows)
+	}
+	var g, u int
+	if _, err := fmt.Sscan(guided, &g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(uniform, &u); err != nil {
+		t.Fatal(err)
+	}
+	if g > u {
+		t.Errorf("gradient-guided uses %d re-executions, uniform %d", g, u)
+	}
+}
+
+func TestAblationSlack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab, err := AblationSlack(tinyConfig(), Point{SER: 1e-10, HPD: 25, ArC: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tab.Rows))
+	}
+}
+
+func TestAblationMapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab, err := AblationMapping(tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tab.Rows))
+	}
+}
+
+func TestPolicyComparison(t *testing.T) {
+	tab, err := PolicyComparison(tinyConfig(), 1e-10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 policies", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if !strings.Contains(row[1], "/") {
+			t.Errorf("row %v missing feasibility fraction", row)
+		}
+	}
+}
+
+func TestSimulationStudy(t *testing.T) {
+	tab, err := SimulationStudy(tinyConfig(), 1e-11, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 (one per slack model)", len(tab.Rows))
+	}
+	// The per-process model is the conservative end-to-end bound: no
+	// within-budget pattern may miss a deadline or exceed the bound.
+	ppRow := tab.Rows[1]
+	if ppRow[0] != "per-process" {
+		t.Fatalf("row order changed: %v", tab.Rows)
+	}
+	if ppRow[1] != "0" { // some design exists
+		var ratio float64
+		if _, err := fmt.Sscan(ppRow[3], &ratio); err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 1.0+1e-9 {
+			t.Errorf("per-process bound violated: max ratio %v", ratio)
+		}
+		if !strings.HasPrefix(ppRow[4], "0/") {
+			t.Errorf("per-process designs missed deadlines: %v", ppRow[4])
+		}
+	}
+}
+
+func TestRuntimeStudy(t *testing.T) {
+	tab, err := RuntimeStudy(tinyConfig(), 1e-11, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 { // tinyConfig has one process count
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "20" {
+		t.Errorf("row %v", tab.Rows[0])
+	}
+}
+
+func TestAcceptanceMultiGraph(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Graphs = 2
+	r, err := Acceptance(cfg, Point{SER: 1e-11, HPD: 25, ArC: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 3 {
+		t.Fatalf("rates for %d strategies", len(r))
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tab := NewTable("Title", []string{"a", "b"})
+	tab.AddRow([]string{"1", "with|pipe"})
+	tab.AddRow([]string{"2"})
+	var sb strings.Builder
+	if err := tab.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**Title**", "| a | b |", "| --- | --- |", `with\|pipe`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationBus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab, err := AblationBus(tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tab.Rows))
+	}
+	// The idealized bus is an upper bound on OPT acceptance.
+	var tdma, ideal float64
+	fmt.Sscan(tab.Rows[0][3], &tdma)
+	fmt.Sscan(tab.Rows[1][3], &ideal)
+	if ideal < tdma {
+		t.Errorf("instantaneous bus accepted less than TDMA: %v vs %v", ideal, tdma)
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/appmodel"
+	"repro/internal/checkpoint"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/redundancy"
+	"repro/internal/replication"
+	"repro/internal/taskgen"
+	"repro/internal/ttp"
+)
+
+// PolicyComparison evaluates the three software fault-tolerance policies
+// — the paper's re-execution, the checkpointing extension (χ = α =
+// chiAlpha ms) and active replication of the most failure-exposed process
+// — on the same mapped synthetic instances (two fastest node types at the
+// middle hardening level, greedy mapping) and reports feasibility counts
+// and mean worst-case schedule lengths (experiments E12/E13).
+func PolicyComparison(cfg Config, ser float64, chiAlpha float64) (*Table, error) {
+	results := map[string]*policyAgg{
+		"re-execution":  {},
+		"checkpointing": {},
+		"replication":   {},
+	}
+	instances := 0
+	for _, n := range cfg.Procs {
+		for i := 0; i < cfg.Apps; i++ {
+			seed := cfg.Seed + int64(i) + int64(n)*1000003
+			inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, n, ser, 25))
+			if err != nil {
+				return nil, err
+			}
+			ar := platform.NewArchitecture([]*platform.Node{
+				&inst.Platform.Nodes[0], &inst.Platform.Nodes[1],
+			})
+			for j, nd := range ar.Nodes {
+				lv := nd.MinLevel() + 1
+				if lv > nd.MaxLevel() {
+					lv = nd.MaxLevel()
+				}
+				ar.Levels[j] = lv
+			}
+			prob := redundancy.Problem{
+				App:  inst.App,
+				Arch: ar,
+				Goal: inst.Goal,
+				Bus:  ttp.NewBus(2, inst.Platform.Bus.SlotLen),
+			}
+			m, err := mapping.GreedyInitial(prob)
+			if err != nil {
+				return nil, err
+			}
+			prob.Mapping = m
+			instances++
+
+			// Re-execution at the fixed levels.
+			re, err := redundancy.Evaluate(prob, ar.Levels)
+			if err != nil {
+				return nil, err
+			}
+			record(results["re-execution"], re.Feasible(), re.Schedule.Length)
+
+			// Checkpointing.
+			cp, err := checkpoint.Evaluate(inst.App, ar, m, inst.Goal,
+				checkpoint.Overheads{Chi: chiAlpha, Alpha: chiAlpha},
+				ttp.NewBus(2, inst.Platform.Bus.SlotLen), 8)
+			if err != nil {
+				return nil, err
+			}
+			slCp := 0.0
+			if cp.Schedule != nil {
+				slCp = cp.Schedule.Length
+			}
+			record(results["checkpointing"], cp.Feasible(), slCp)
+
+			// Replication of the process with the largest p×t exposure.
+			pid := mostExposed(inst, ar, m)
+			other := 1 - m[pid]
+			rp, err := replication.Evaluate(replication.Problem{
+				App:      inst.App,
+				Arch:     ar,
+				Mapping:  m,
+				Replicas: replication.Assignment{pid: {m[pid], other}},
+				Goal:     inst.Goal,
+				Bus:      ttp.NewBus(2, inst.Platform.Bus.SlotLen),
+			})
+			if err != nil {
+				return nil, err
+			}
+			record(results["replication"], rp.Feasible(), rp.Schedule.Length)
+		}
+	}
+	t := NewTable(fmt.Sprintf("Policy comparison (SER=%.0e, χ=α=%g ms, %d instances)", ser, chiAlpha, instances),
+		[]string{"policy", "feasible", "mean worst-case SL (ms)"})
+	for _, name := range []string{"re-execution", "checkpointing", "replication"} {
+		a := results[name]
+		mean := "-"
+		if a.count > 0 {
+			mean = fmt.Sprintf("%.1f", a.sumSL/float64(a.count))
+		}
+		t.AddRow([]string{name, fmt.Sprintf("%d/%d", a.feasible, instances), mean})
+	}
+	return t, nil
+}
+
+// policyAgg accumulates per-policy feasibility and schedule statistics.
+type policyAgg struct {
+	feasible int
+	sumSL    float64
+	count    int
+}
+
+func record(a *policyAgg, feasible bool, sl float64) {
+	if feasible {
+		a.feasible++
+	}
+	if sl > 0 {
+		a.sumSL += sl
+		a.count++
+	}
+}
+
+// mostExposed returns the process with the largest p×t product on its
+// mapped node — the best replication candidate.
+func mostExposed(inst *taskgen.Instance, ar *platform.Architecture, m []int) appmodel.ProcID {
+	best, bestScore := appmodel.ProcID(0), -1.0
+	for pid := 0; pid < inst.App.NumProcesses(); pid++ {
+		v := ar.Version(m[pid])
+		score := v.FailProb[pid] * v.WCET[pid]
+		if score > bestScore {
+			best, bestScore = appmodel.ProcID(pid), score
+		}
+	}
+	return best
+}

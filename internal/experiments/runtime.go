@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/taskgen"
+)
+
+// RuntimeStudy measures the wall-clock execution time of the OPT design
+// strategy per application size, the counterpart of the paper's reported
+// "between 3 minutes and 60 minutes" on a Pentium 4 (Section 7). The
+// result also reports the architectures explored and redundancy
+// evaluations performed, which dominate the cost.
+func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
+	t := NewTable(fmt.Sprintf("OPT runtime (SER=%.0e, HPD=%g%%, %d apps per size)", ser, hpd, cfg.Apps),
+		[]string{"processes", "mean", "max", "mean archs", "mean evals"})
+	for _, n := range cfg.Procs {
+		var total, max time.Duration
+		var archs, evals, runs int
+		for i := 0; i < cfg.Apps; i++ {
+			seed := cfg.Seed + int64(i) + int64(n)*1000003
+			inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, n, ser, hpd))
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, err := core.Run(inst.App, inst.Platform, core.Options{
+				Goal:          inst.Goal,
+				Strategy:      core.OPT,
+				MappingParams: cfg.MappingParams,
+			})
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			total += elapsed
+			if elapsed > max {
+				max = elapsed
+			}
+			archs += res.ArchsExplored
+			evals += res.Evaluations
+			runs++
+		}
+		if runs == 0 {
+			continue
+		}
+		t.AddRow([]string{
+			fmt.Sprint(n),
+			(total / time.Duration(runs)).Round(time.Millisecond).String(),
+			max.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", float64(archs)/float64(runs)),
+			fmt.Sprintf("%.0f", float64(evals)/float64(runs)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,163 @@
+// Package faultsim is the fault-injection substrate of the reproduction.
+//
+// The paper obtains per-process failure probabilities p_ijh "using fault
+// injection tools" (GOOFI [1], FPGA-based injection [18]) on real
+// hardened hardware. Neither the tools nor the hardware are available, so
+// this package supplies the closest synthetic equivalent, in two parts:
+//
+//   - DeriveFailProb computes p_ijh from the raw transient (soft) error
+//     rate per clock cycle of the fabrication technology, the process
+//     length in cycles, and the hardening level — mirroring how the
+//     paper's experiments parameterize technologies by SER (10^-10,
+//     10^-11, 10^-12 per cycle) and how its examples reduce p by two
+//     orders of magnitude per hardening level (Fig. 3: 4·10^-2 → 4·10^-4 →
+//     4·10^-6).
+//
+//   - Campaign runs a Monte-Carlo fault-injection campaign against the
+//     re-execution recovery scheme, producing an empirical system failure
+//     probability that cross-validates the analytic SFP analysis of
+//     package sfp (experiment E11 of DESIGN.md).
+package faultsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultReductionPerLevel is the factor by which one hardening level
+// divides the process failure probability. Two orders of magnitude per
+// level matches the paper's Fig. 3 h-versions.
+const DefaultReductionPerLevel = 100.0
+
+// DefaultCyclesPerMs converts worst-case execution time to clock cycles at
+// a nominal 1 GHz embedded clock: 10^6 cycles per millisecond.
+const DefaultCyclesPerMs = 1e6
+
+// DeriveFailProb returns the failure probability of a single execution of
+// a process with the given WCET (milliseconds, at the hardening level in
+// question), on a technology with serPerCycle transient faults per clock
+// cycle at the minimum hardening level, at hardening level (1-based).
+// reductionPerLevel divides the probability once per level above 1; pass
+// DefaultReductionPerLevel for the paper-calibrated value, and
+// DefaultCyclesPerMs for cyclesPerMs unless modelling a different clock.
+//
+// The result is clamped to [0, 0.5] — a process failing more than half the
+// time is outside the model's regime and would never meet any reliability
+// goal anyway.
+func DeriveFailProb(wcetMs, cyclesPerMs, serPerCycle float64, level int, reductionPerLevel float64) float64 {
+	if wcetMs <= 0 || cyclesPerMs <= 0 || serPerCycle <= 0 {
+		return 0
+	}
+	if level < 1 {
+		level = 1
+	}
+	if reductionPerLevel <= 1 {
+		reductionPerLevel = DefaultReductionPerLevel
+	}
+	p := serPerCycle * wcetMs * cyclesPerMs / math.Pow(reductionPerLevel, float64(level-1))
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}
+
+// Campaign is a Monte-Carlo fault-injection campaign over one application
+// iteration repeated Iterations times. NodeProbs[j] lists the failure
+// probabilities of the processes mapped on node j; Ks[j] is the number of
+// re-executions node j provides.
+type Campaign struct {
+	NodeProbs  [][]float64
+	Ks         []int
+	Iterations int
+	// Seed makes the campaign reproducible.
+	Seed int64
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Iterations int
+	// Failures counts iterations in which some node exhausted its
+	// re-execution budget.
+	Failures int
+	// NodeFailures[j] counts iterations in which node j exhausted its
+	// budget (several nodes can fail in the same iteration).
+	NodeFailures []int
+}
+
+// FailureProb returns the empirical per-iteration system failure
+// probability.
+func (r *Result) FailureProb() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Iterations)
+}
+
+// StdErr returns the standard error of FailureProb, for confidence
+// intervals in validation tests.
+func (r *Result) StdErr() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	p := r.FailureProb()
+	return math.Sqrt(p * (1 - p) / float64(r.Iterations))
+}
+
+// Run executes the campaign. Within one iteration, every execution of
+// every process on node j fails independently with its probability; each
+// failed execution consumes one of the node's k_j re-executions, and the
+// node fails when a process execution fails with the budget exhausted —
+// exactly the fault model of the SFP analysis (at most k_j faults per node
+// per iteration are tolerated).
+func (c *Campaign) Run() (*Result, error) {
+	if c.Iterations <= 0 {
+		return nil, fmt.Errorf("faultsim: non-positive iteration count %d", c.Iterations)
+	}
+	if len(c.Ks) != len(c.NodeProbs) {
+		return nil, fmt.Errorf("faultsim: %d budgets for %d nodes", len(c.Ks), len(c.NodeProbs))
+	}
+	for j, ps := range c.NodeProbs {
+		if c.Ks[j] < 0 {
+			return nil, fmt.Errorf("faultsim: negative budget on node %d", j)
+		}
+		for _, p := range ps {
+			if !(p >= 0 && p < 1) {
+				return nil, fmt.Errorf("faultsim: probability %v outside [0,1) on node %d", p, j)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	res := &Result{
+		Iterations:   c.Iterations,
+		NodeFailures: make([]int, len(c.NodeProbs)),
+	}
+	for it := 0; it < c.Iterations; it++ {
+		systemFailed := false
+		for j, ps := range c.NodeProbs {
+			budget := c.Ks[j]
+			nodeFailed := false
+			for _, p := range ps {
+				// Execute until success or budget exhaustion.
+				for rng.Float64() < p {
+					if budget == 0 {
+						nodeFailed = true
+						break
+					}
+					budget--
+				}
+				if nodeFailed {
+					break
+				}
+			}
+			if nodeFailed {
+				res.NodeFailures[j]++
+				systemFailed = true
+			}
+		}
+		if systemFailed {
+			res.Failures++
+		}
+	}
+	return res, nil
+}

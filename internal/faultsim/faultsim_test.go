@@ -1,0 +1,156 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sfp"
+)
+
+func TestDeriveFailProbFig3Shape(t *testing.T) {
+	// A 80 ms process at SER 5e-10/cycle and 1 GHz gives p = 4e-2 at the
+	// minimum hardening level — the Fig. 3 value — and two orders of
+	// magnitude less per level.
+	p1 := DeriveFailProb(80, DefaultCyclesPerMs, 5e-10, 1, DefaultReductionPerLevel)
+	if math.Abs(p1-4e-2) > 1e-12 {
+		t.Errorf("level 1 p = %v, want 4e-2", p1)
+	}
+	p2 := DeriveFailProb(80, DefaultCyclesPerMs, 5e-10, 2, DefaultReductionPerLevel)
+	if math.Abs(p2-4e-4) > 1e-12 {
+		t.Errorf("level 2 p = %v, want 4e-4", p2)
+	}
+	p3 := DeriveFailProb(80, DefaultCyclesPerMs, 5e-10, 3, DefaultReductionPerLevel)
+	if math.Abs(p3-4e-6) > 1e-12 {
+		t.Errorf("level 3 p = %v, want 4e-6", p3)
+	}
+}
+
+func TestDeriveFailProbEdgeCases(t *testing.T) {
+	if DeriveFailProb(0, 1e6, 1e-10, 1, 100) != 0 {
+		t.Error("zero WCET should give zero probability")
+	}
+	if DeriveFailProb(10, 1e6, 0, 1, 100) != 0 {
+		t.Error("zero SER should give zero probability")
+	}
+	// Absurd SER clamps at 0.5.
+	if p := DeriveFailProb(1e6, 1e6, 1, 1, 100); p != 0.5 {
+		t.Errorf("clamped p = %v, want 0.5", p)
+	}
+	// Level below 1 behaves as level 1, bad reduction falls back to the
+	// default.
+	a := DeriveFailProb(10, 1e6, 1e-10, 0, 0)
+	b := DeriveFailProb(10, 1e6, 1e-10, 1, DefaultReductionPerLevel)
+	if a != b {
+		t.Errorf("level/reduction fallback mismatch: %v vs %v", a, b)
+	}
+	// Probability decreases monotonically with level.
+	prev := DeriveFailProb(10, 1e6, 1e-10, 1, 100)
+	for lvl := 2; lvl <= 5; lvl++ {
+		cur := DeriveFailProb(10, 1e6, 1e-10, lvl, 100)
+		if cur >= prev {
+			t.Errorf("p did not decrease at level %d", lvl)
+		}
+		prev = cur
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	bad := []Campaign{
+		{NodeProbs: [][]float64{{0.1}}, Ks: []int{0}, Iterations: 0},
+		{NodeProbs: [][]float64{{0.1}}, Ks: nil, Iterations: 10},
+		{NodeProbs: [][]float64{{0.1}}, Ks: []int{-1}, Iterations: 10},
+		{NodeProbs: [][]float64{{1.5}}, Ks: []int{0}, Iterations: 10},
+	}
+	for i := range bad {
+		if _, err := bad[i].Run(); err == nil {
+			t.Errorf("campaign %d should be rejected", i)
+		}
+	}
+}
+
+func TestCampaignZeroProbNeverFails(t *testing.T) {
+	c := Campaign{NodeProbs: [][]float64{{0, 0}, {0}}, Ks: []int{0, 0}, Iterations: 1000, Seed: 1}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Errorf("%d failures with zero fault probability", res.Failures)
+	}
+	if res.FailureProb() != 0 || res.StdErr() != 0 {
+		t.Error("statistics should be zero")
+	}
+}
+
+func TestCampaignCertainFailureWithoutBudget(t *testing.T) {
+	// p close to 1 and k = 0: essentially every iteration fails.
+	c := Campaign{NodeProbs: [][]float64{{0.999}}, Ks: []int{0}, Iterations: 2000, Seed: 2}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureProb() < 0.99 {
+		t.Errorf("failure prob = %v, want ≈0.999", res.FailureProb())
+	}
+	if res.NodeFailures[0] != res.Failures {
+		t.Error("single-node campaign: node failures must equal system failures")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	c := Campaign{NodeProbs: [][]float64{{0.05, 0.03}}, Ks: []int{1}, Iterations: 5000, Seed: 7}
+	r1, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Failures != r2.Failures {
+		t.Errorf("same seed, different results: %d vs %d", r1.Failures, r2.Failures)
+	}
+}
+
+// TestSFPMatchesMonteCarlo cross-validates the analytic SFP analysis
+// (experiment E11): for several configurations with measurable failure
+// probabilities, the Monte-Carlo estimate must fall within 5 standard
+// errors of the analytic value (which is additionally allowed its
+// pessimistic rounding margin).
+func TestSFPMatchesMonteCarlo(t *testing.T) {
+	cases := []struct {
+		name  string
+		probs [][]float64
+		ks    []int
+	}{
+		{"one node k=0", [][]float64{{0.02, 0.05}}, []int{0}},
+		{"one node k=1", [][]float64{{0.05, 0.08}}, []int{1}},
+		{"one node k=2", [][]float64{{0.1, 0.07, 0.04}}, []int{2}},
+		{"two nodes", [][]float64{{0.04, 0.03}, {0.06}}, []int{1, 1}},
+		{"asymmetric budgets", [][]float64{{0.1}, {0.02, 0.02}}, []int{2, 0}},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fails := make([]float64, len(c.probs))
+			for j, ps := range c.probs {
+				n, err := sfp.NewNode(ps, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fails[j] = n.FailureProb(c.ks[j])
+			}
+			analytic := sfp.SystemFailureProb(fails)
+
+			camp := Campaign{NodeProbs: c.probs, Ks: c.ks, Iterations: 400000, Seed: int64(100 + i)}
+			res, err := camp.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := res.FailureProb()
+			tol := 5*res.StdErr() + 1e-9
+			if math.Abs(mc-analytic) > tol {
+				t.Errorf("analytic %v vs Monte-Carlo %v (tol %v)", analytic, mc, tol)
+			}
+		})
+	}
+}

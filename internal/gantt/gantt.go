@@ -1,0 +1,186 @@
+// Package gantt renders static schedules as ASCII Gantt charts, the same
+// visual the paper uses in Figs. 2–4: one row per computation node (plus
+// the bus), time flowing left to right, process executions as labelled
+// bars and the shared recovery slack as a shaded region after the last
+// process of each node.
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/appmodel"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Chart lays out one schedule for rendering.
+type Chart struct {
+	App      *appmodel.Application
+	Arch     *platform.Architecture
+	Mapping  []int
+	Schedule *sched.Schedule
+	// Width is the number of character cells of the time axis (default
+	// 72).
+	Width int
+	// Deadline, when positive, draws a '|' marker at the deadline.
+	Deadline float64
+}
+
+// Render writes the chart. The time axis is scaled so that the later of
+// the schedule length and the deadline fits in Width cells.
+func (c *Chart) Render(w io.Writer) error {
+	if c.Schedule == nil || c.Arch == nil || c.App == nil {
+		return fmt.Errorf("gantt: incomplete chart")
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 72
+	}
+	horizon := c.Schedule.Length
+	if c.Deadline > horizon {
+		horizon = c.Deadline
+	}
+	if horizon <= 0 {
+		return fmt.Errorf("gantt: empty schedule")
+	}
+	scale := float64(width) / horizon
+	cell := func(t float64) int {
+		x := int(math.Round(t * scale))
+		if x < 0 {
+			x = 0
+		}
+		if x > width {
+			x = width
+		}
+		return x
+	}
+
+	var sb strings.Builder
+	// One row per node.
+	for j, node := range c.Arch.Nodes {
+		row := make([]byte, width+1)
+		for i := range row {
+			row[i] = ' '
+		}
+		var lastWorst, lastFinish float64
+		for _, pid := range c.Schedule.NodeOrder[j] {
+			s, e := cell(c.Schedule.Start[pid]), cell(c.Schedule.Finish[pid])
+			if e <= s {
+				e = s + 1
+			}
+			label := c.App.Procs[pid].Name
+			for x := s; x < e && x < len(row); x++ {
+				idx := x - s
+				if idx < len(label) {
+					row[x] = label[idx]
+				} else {
+					row[x] = '='
+				}
+			}
+			if c.Schedule.Finish[pid] > lastFinish {
+				lastFinish = c.Schedule.Finish[pid]
+			}
+			if c.Schedule.WorstFinish[pid] > lastWorst {
+				lastWorst = c.Schedule.WorstFinish[pid]
+			}
+		}
+		// Shared recovery slack after the last fault-free finish.
+		for x := cell(lastFinish); x < cell(lastWorst) && x < len(row); x++ {
+			if row[x] == ' ' {
+				row[x] = '.'
+			}
+		}
+		if c.Deadline > 0 {
+			x := cell(c.Deadline)
+			if x < len(row) && (row[x] == ' ' || row[x] == '.') {
+				row[x] = '|'
+			}
+		}
+		fmt.Fprintf(&sb, "%-6s %s\n", fmt.Sprintf("%s^%d", node.Name, c.Arch.Levels[j]), string(row))
+	}
+	// Bus row.
+	if hasBusTraffic(c.Schedule) {
+		row := make([]byte, width+1)
+		for i := range row {
+			row[i] = ' '
+		}
+		type msg struct {
+			start float64
+			name  string
+			s, e  int
+		}
+		var msgs []msg
+		for _, e := range c.App.Edges {
+			if math.IsNaN(c.Schedule.MsgStart[e.ID]) {
+				continue
+			}
+			msgs = append(msgs, msg{
+				start: c.Schedule.MsgStart[e.ID],
+				name:  e.Name,
+				s:     cell(c.Schedule.MsgStart[e.ID]),
+				e:     cell(c.Schedule.MsgEnd[e.ID]),
+			})
+		}
+		sort.Slice(msgs, func(a, b int) bool { return msgs[a].start < msgs[b].start })
+		for _, m := range msgs {
+			if m.e <= m.s {
+				m.e = m.s + 1
+			}
+			// Draw the bar, letting the label overflow into blank cells so
+			// that short transmission windows stay identifiable.
+			for x := m.s; x < len(row); x++ {
+				idx := x - m.s
+				if idx < len(m.name) {
+					if x >= m.e && row[x] != ' ' {
+						break // ran into the next bar
+					}
+					row[x] = m.name[idx]
+				} else if x < m.e {
+					row[x] = '#'
+				} else {
+					break
+				}
+			}
+		}
+		if c.Deadline > 0 {
+			x := cell(c.Deadline)
+			if x < len(row) && row[x] == ' ' {
+				row[x] = '|'
+			}
+		}
+		fmt.Fprintf(&sb, "%-6s %s\n", "bus", string(row))
+	}
+	// Time axis.
+	fmt.Fprintf(&sb, "%-6s 0%s%.0f ms\n", "", strings.Repeat("-", max(1, width-len(fmt.Sprintf("%.0f ms", horizon)))), horizon)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func hasBusTraffic(s *sched.Schedule) bool {
+	for _, v := range s.MsgStart {
+		if !math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		return err.Error()
+	}
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/ttp"
+)
+
+// fig4aChart builds the chart for the Fig. 4a schedule.
+func fig4aChart(t *testing.T) *Chart {
+	t.Helper()
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0], &pl.Nodes[1]})
+	ar.Levels = []int{2, 2}
+	mapping := []int{0, 0, 1, 1}
+	s, err := sched.Build(sched.Input{
+		App:     app,
+		Arch:    ar,
+		Mapping: mapping,
+		Ks:      []int{1, 1},
+		Bus:     ttp.NewBus(2, pl.Bus.SlotLen),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Chart{
+		App:      app,
+		Arch:     ar,
+		Mapping:  mapping,
+		Schedule: s,
+		Deadline: paper.Fig1Deadline,
+	}
+}
+
+func TestRenderFig4a(t *testing.T) {
+	c := fig4aChart(t)
+	out := c.String()
+	// One row per node, one for the bus, one axis line.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "N1^2") || !strings.HasPrefix(lines[1], "N2^2") {
+		t.Errorf("node rows malformed:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "bus") {
+		t.Errorf("missing bus row:\n%s", out)
+	}
+	for _, want := range []string{"P1", "P2", "P3", "P4", "m2", "m3", "360 ms", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDeadlineMarker(t *testing.T) {
+	c := fig4aChart(t)
+	c.Deadline = 500 // beyond the schedule: marker must appear
+	out := c.String()
+	if !strings.Contains(out, "|") {
+		t.Errorf("no deadline marker:\n%s", out)
+	}
+	if !strings.Contains(out, "500 ms") {
+		t.Errorf("horizon should extend to the deadline:\n%s", out)
+	}
+}
+
+func TestRenderWidths(t *testing.T) {
+	c := fig4aChart(t)
+	for _, w := range []int{20, 72, 200} {
+		c.Width = w
+		out := c.String()
+		if len(out) == 0 || strings.Contains(out, "error") {
+			t.Errorf("width %d failed:\n%s", w, out)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var c Chart
+	if err := c.Render(&strings.Builder{}); err == nil {
+		t.Error("want error for incomplete chart")
+	}
+}
+
+func TestRenderNoBus(t *testing.T) {
+	app := paper.Fig3Application()
+	pl := paper.Fig3Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0]})
+	ar.Levels[0] = 2
+	s, err := sched.Build(sched.Input{App: app, Arch: ar, Mapping: []int{0}, Ks: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Chart{App: app, Arch: ar, Mapping: []int{0}, Schedule: s, Deadline: 360}
+	out := c.String()
+	if strings.Contains(out, "bus") {
+		t.Errorf("monoprocessor chart should have no bus row:\n%s", out)
+	}
+	// Slack region: 100 fault-free + 240 slack, so dots dominate the row.
+	if strings.Count(out, ".") < 10 {
+		t.Errorf("recovery slack not visible:\n%s", out)
+	}
+}

@@ -1,0 +1,349 @@
+// Package mapping implements the MappingAlgorithm heuristic of Section
+// 6.2: a tabu search over process-to-node mappings. At each iteration the
+// processes on the critical path of the current worst-case schedule are
+// candidates for re-mapping; recently moved processes are tabu, processes
+// that have waited long are prioritized, and a move is accepted if it
+// either beats the best-so-far solution (aspiration, even when tabu) or is
+// the best available non-tabu move (diversification, even when worse than
+// the current solution).
+//
+// Every candidate mapping is evaluated through redundancy.RedundancyOpt,
+// which settles the hardening levels and re-execution counts for that
+// mapping — "the change of the mapping immediately triggers the change of
+// the hardening levels" (Section 6.1).
+//
+// Two cost functions are supported, as required by the design strategy of
+// Fig. 5: ScheduleLength produces the shortest-possible worst-case
+// schedule, and ArchitectureCost minimizes the architecture cost without
+// impairing schedulability.
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/appmodel"
+	"repro/internal/redundancy"
+)
+
+// CostFunction selects the objective of the mapping optimization.
+type CostFunction int
+
+const (
+	// ScheduleLength minimizes the worst-case schedule length SL
+	// (feasible solutions first).
+	ScheduleLength CostFunction = iota
+	// ArchitectureCost minimizes the architecture cost among feasible
+	// solutions (schedule length breaks ties).
+	ArchitectureCost
+)
+
+// String returns the cost function name.
+func (cf CostFunction) String() string {
+	switch cf {
+	case ScheduleLength:
+		return "schedule-length"
+	case ArchitectureCost:
+		return "architecture-cost"
+	default:
+		return fmt.Sprintf("CostFunction(%d)", int(cf))
+	}
+}
+
+// Params tunes the tabu search.
+type Params struct {
+	// TabuTenure is the number of iterations a moved process stays tabu.
+	TabuTenure int
+	// MaxNoImprove stops the search after this many consecutive
+	// iterations without improving the best solution.
+	MaxNoImprove int
+	// MaxIterations is a hard safety cap on total iterations.
+	MaxIterations int
+}
+
+// DefaultParams returns the tuning used by the experimental evaluation.
+func DefaultParams() Params {
+	return Params{TabuTenure: 3, MaxNoImprove: 8, MaxIterations: 200}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.TabuTenure <= 0 {
+		p.TabuTenure = d.TabuTenure
+	}
+	if p.MaxNoImprove <= 0 {
+		p.MaxNoImprove = d.MaxNoImprove
+	}
+	if p.MaxIterations <= 0 {
+		p.MaxIterations = d.MaxIterations
+	}
+	return p
+}
+
+// Result is the outcome of the mapping optimization: the best mapping
+// found and its fully evaluated redundancy solution.
+type Result struct {
+	Mapping  []int
+	Solution *redundancy.Solution
+	// Evaluations counts RedundancyOpt invocations, for the experiment
+	// reports.
+	Evaluations int
+}
+
+// objective is a lexicographic objective vector: smaller is better.
+func objective(cf CostFunction, sol *redundancy.Solution) [3]float64 {
+	feas := 1.0
+	if sol.Feasible() {
+		feas = 0
+	}
+	switch cf {
+	case ArchitectureCost:
+		return [3]float64{feas, sol.Cost, sol.Schedule.Length}
+	default:
+		return [3]float64{feas, sol.Schedule.Length, sol.Cost}
+	}
+}
+
+func lessObj(a, b [3]float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Optimize runs the tabu search. The problem's Mapping field is ignored;
+// initial provides the starting mapping (nil lets the heuristic construct
+// a greedy one). The returned solution may be infeasible if no feasible
+// mapping was found — the caller (DesignStrategy) then grows the
+// architecture.
+func Optimize(p redundancy.Problem, initial []int, cf CostFunction, params Params) (*Result, error) {
+	params = params.withDefaults()
+	n := p.App.NumProcesses()
+	numNodes := len(p.Arch.Nodes)
+	if numNodes == 0 {
+		return nil, fmt.Errorf("mapping: architecture has no nodes")
+	}
+
+	cur := make([]int, n)
+	if initial != nil {
+		if len(initial) != n {
+			return nil, fmt.Errorf("mapping: initial mapping covers %d of %d processes", len(initial), n)
+		}
+		copy(cur, initial)
+		for pid, j := range cur {
+			if j < 0 || j >= numNodes {
+				return nil, fmt.Errorf("mapping: initial mapping sends process %d to invalid node %d", pid, j)
+			}
+		}
+	} else {
+		var err error
+		cur, err = GreedyInitial(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	evals := 0
+	evaluate := func(m []int) (*redundancy.Solution, error) {
+		evals++
+		q := p
+		q.Mapping = m
+		return redundancy.RedundancyOpt(q)
+	}
+
+	curSol, err := evaluate(cur)
+	if err != nil {
+		return nil, err
+	}
+	best := &Result{Mapping: append([]int(nil), cur...), Solution: curSol}
+	bestObj := objective(cf, curSol)
+
+	tabu := make([]int, n)    // iterations left in tabu state
+	waiting := make([]int, n) // iterations since last move
+
+	noImprove := 0
+	for iter := 0; iter < params.MaxIterations && noImprove < params.MaxNoImprove; iter++ {
+		if numNodes == 1 {
+			break // nothing to move
+		}
+		cands := criticalPath(p.App, cur, curSol)
+		type move struct {
+			pid  appmodel.ProcID
+			node int
+			sol  *redundancy.Solution
+			obj  [3]float64
+		}
+		// Move ordering: objective first, then the waiting priority of
+		// Section 6.2 (processes that have waited longest to be re-mapped
+		// move first), then IDs for determinism.
+		lessMove := func(a, b *move) bool {
+			if a.obj != b.obj {
+				return lessObj(a.obj, b.obj)
+			}
+			if waiting[a.pid] != waiting[b.pid] {
+				return waiting[a.pid] > waiting[b.pid]
+			}
+			if a.pid != b.pid {
+				return a.pid < b.pid
+			}
+			return a.node < b.node
+		}
+		var bestAny, bestNonTabu *move
+		for _, pid := range cands {
+			for j := 0; j < numNodes; j++ {
+				if j == cur[pid] {
+					continue
+				}
+				trial := append([]int(nil), cur...)
+				trial[pid] = j
+				sol, err := evaluate(trial)
+				if err != nil {
+					return nil, err
+				}
+				mv := &move{pid: pid, node: j, sol: sol, obj: objective(cf, sol)}
+				if bestAny == nil || lessMove(mv, bestAny) {
+					bestAny = mv
+				}
+				if tabu[pid] == 0 && (bestNonTabu == nil || lessMove(mv, bestNonTabu)) {
+					bestNonTabu = mv
+				}
+			}
+		}
+		if bestAny == nil {
+			break // no candidates (empty critical path)
+		}
+		// Rule (1): accept the best move, tabu or not, if it beats the
+		// best-so-far. Rule (2): otherwise take the best non-tabu move,
+		// even if it is worse than the current solution.
+		var chosen *move
+		if lessObj(bestAny.obj, bestObj) {
+			chosen = bestAny
+		} else if bestNonTabu != nil {
+			chosen = bestNonTabu
+		} else {
+			chosen = bestAny // all candidates tabu: fall back
+		}
+		cur[chosen.pid] = chosen.node
+		curSol = chosen.sol
+		for pid := range tabu {
+			if tabu[pid] > 0 {
+				tabu[pid]--
+			}
+			waiting[pid]++
+		}
+		tabu[chosen.pid] = params.TabuTenure
+		waiting[chosen.pid] = 0
+
+		if lessObj(chosen.obj, bestObj) {
+			best = &Result{Mapping: append([]int(nil), cur...), Solution: curSol}
+			bestObj = chosen.obj
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+// criticalPath returns the processes on the chain that determines the
+// worst-case schedule length: starting from the process with the largest
+// worst-case finish, it walks backwards through whichever dependency
+// (same-node predecessor in the schedule or incoming message) fixed each
+// process's start time.
+func criticalPath(app *appmodel.Application, mapping []int, sol *redundancy.Solution) []appmodel.ProcID {
+	s := sol.Schedule
+	n := len(s.Start)
+	if n == 0 {
+		return nil
+	}
+	// Same-node schedule predecessor.
+	prevOnNode := make([]int, n)
+	for i := range prevOnNode {
+		prevOnNode[i] = -1
+	}
+	for _, order := range s.NodeOrder {
+		for i := 1; i < len(order); i++ {
+			prevOnNode[order[i]] = int(order[i-1])
+		}
+	}
+	pred := app.Predecessors()
+	// Start from the worst finisher.
+	cur := 0
+	for pid := 1; pid < n; pid++ {
+		if s.WorstFinish[pid] > s.WorstFinish[cur] {
+			cur = pid
+		}
+	}
+	const eps = 1e-9
+	seen := make(map[appmodel.ProcID]bool)
+	var path []appmodel.ProcID
+	for cur >= 0 && !seen[appmodel.ProcID(cur)] {
+		pid := appmodel.ProcID(cur)
+		seen[pid] = true
+		path = append(path, pid)
+		if s.Start[pid] <= eps {
+			break
+		}
+		next := -1
+		// Message (or intra-node data) dependency that fixed the start?
+		for _, e := range pred[pid] {
+			arr := s.Finish[e.Src]
+			if mapping[e.Src] != mapping[e.Dst] && !math.IsNaN(s.MsgEnd[e.ID]) {
+				arr = s.MsgEnd[e.ID]
+			}
+			if math.Abs(arr-s.Start[pid]) <= eps {
+				next = int(e.Src)
+				break
+			}
+		}
+		// Otherwise the node was busy: follow the schedule predecessor.
+		if next < 0 {
+			next = prevOnNode[pid]
+		}
+		cur = next
+	}
+	return path
+}
+
+// GreedyInitial constructs a deterministic initial mapping: processes are
+// taken in topological order and each is placed on the node that yields
+// the earliest estimated finish at minimum hardening (a HEFT-style seed).
+func GreedyInitial(p redundancy.Problem) ([]int, error) {
+	app := p.App
+	order, err := app.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	numNodes := len(p.Arch.Nodes)
+	mapping := make([]int, app.NumProcesses())
+	avail := make([]float64, numNodes)
+	finish := make([]float64, app.NumProcesses())
+	pred := app.Predecessors()
+	for _, pid := range order {
+		bestJ, bestF := -1, math.Inf(1)
+		for j := 0; j < numNodes; j++ {
+			v := p.Arch.Nodes[j].Version(p.Arch.Nodes[j].MinLevel())
+			ready := avail[j]
+			for _, e := range pred[pid] {
+				arr := finish[e.Src]
+				if mapping[e.Src] != j {
+					arr += 1 // nominal one-slot transfer penalty
+				}
+				if arr > ready {
+					ready = arr
+				}
+			}
+			f := ready + v.WCET[pid]
+			if f < bestF {
+				bestJ, bestF = j, f
+			}
+		}
+		mapping[pid] = bestJ
+		finish[pid] = bestF
+		avail[bestJ] = bestF
+	}
+	return mapping, nil
+}

@@ -1,0 +1,214 @@
+package multirate
+
+import (
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/platform"
+	"repro/internal/sfp"
+	"repro/internal/ttp"
+)
+
+// twoRateSpec builds a two-graph application: a fast 2-process control
+// loop at 50 ms and a slow 2-process diagnostic chain at 100 ms.
+func twoRateSpec(t *testing.T) *Spec {
+	t.Helper()
+	b := appmodel.NewBuilder("two-rate")
+	b.Graph("fast", 40)
+	f1 := b.Process("F1", 1)
+	f2 := b.Process("F2", 1)
+	b.Edge("fe", f1, f2, 4)
+	b.Graph("slow", 90)
+	s1 := b.Process("S1", 1)
+	s2 := b.Process("S2", 1)
+	b.Edge("se", s1, s2, 4)
+	return &Spec{App: b.MustBuild(), Periods: []float64{50, 100}}
+}
+
+// twoNodeArch builds a 2-node single-level architecture over the 4
+// original processes.
+func twoNodeArch() *platform.Architecture {
+	mk := func(id int, name string, scale float64) platform.Node {
+		return platform.Node{
+			ID:   platform.NodeID(id),
+			Name: name,
+			Versions: []platform.HVersion{{
+				Level: 1, Cost: 5,
+				WCET:     []float64{8 * scale, 10 * scale, 15 * scale, 20 * scale},
+				FailProb: []float64{1e-5, 1e-5, 1e-5, 1e-5},
+			}},
+		}
+	}
+	n0, n1 := mk(0, "N0", 1), mk(1, "N1", 1.1)
+	return platform.NewArchitecture([]*platform.Node{&n0, &n1})
+}
+
+func TestHyperperiod(t *testing.T) {
+	s := twoRateSpec(t)
+	h, err := s.Hyperperiod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 100 {
+		t.Errorf("hyperperiod %v, want 100", h)
+	}
+	// Incommensurate-ish but still rational periods.
+	s.Periods = []float64{30, 45}
+	if h, err = s.Hyperperiod(); err != nil || h != 90 {
+		t.Errorf("lcm(30,45) = %v, %v; want 90", h, err)
+	}
+	// Fractional microseconds rejected.
+	s.Periods = []float64{1e-6, 100}
+	if _, err := s.Hyperperiod(); err == nil {
+		t.Error("want error for sub-microsecond period")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := twoRateSpec(t)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := twoRateSpec(t)
+	bad.Periods = []float64{50}
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for period count mismatch")
+	}
+	bad = twoRateSpec(t)
+	bad.Periods[0] = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for zero period")
+	}
+	bad = twoRateSpec(t)
+	bad.Periods[0] = 30 // below the 40 ms deadline
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for deadline beyond period")
+	}
+	if err := (&Spec{}).Validate(); err == nil {
+		t.Error("want error for nil application")
+	}
+}
+
+func TestUnroll(t *testing.T) {
+	u, err := Unroll(twoRateSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast graph: 2 instances × 2 processes; slow graph: 1 × 2.
+	if u.App.NumProcesses() != 6 {
+		t.Fatalf("%d jobs, want 6", u.App.NumProcesses())
+	}
+	if len(u.App.Graphs) != 3 {
+		t.Fatalf("%d job graphs, want 3", len(u.App.Graphs))
+	}
+	// Releases: fast instance 0 at 0, instance 1 at 50; slow at 0.
+	wantRelease := map[string]float64{"F1#0": 0, "F2#0": 0, "F1#1": 50, "F2#1": 50, "S1#0": 0, "S2#0": 0}
+	for pid, p := range u.App.Procs {
+		if u.Release[pid] != wantRelease[p.Name] {
+			t.Errorf("%s released at %v, want %v", p.Name, u.Release[pid], wantRelease[p.Name])
+		}
+	}
+	// Absolute deadlines: fast#1 at 50+40 = 90.
+	var fast1 *appmodel.Graph
+	for gi := range u.App.Graphs {
+		if u.App.Graphs[gi].Name == "fast#1" {
+			fast1 = &u.App.Graphs[gi]
+		}
+	}
+	if fast1 == nil || fast1.Deadline != 90 {
+		t.Errorf("fast#1 deadline = %+v, want 90", fast1)
+	}
+	// The job set's period is the hyperperiod.
+	if u.App.Period != 100 {
+		t.Errorf("period %v, want 100", u.App.Period)
+	}
+}
+
+func TestEvaluateFeasible(t *testing.T) {
+	s := twoRateSpec(t)
+	ar := twoNodeArch()
+	sol, err := Evaluate(s, ar, []int{0, 0, 1, 1}, sfp.Goal{Gamma: 1e-5, Tau: 3.6e6}, ttp.NewBus(2, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatalf("two-rate system should be feasible: %+v", sol)
+	}
+	// Jobs respect their releases.
+	for job, rel := range sol.Unrolled.Release {
+		if sol.Schedule.Start[job] < rel-1e-9 {
+			t.Errorf("job %d starts %v before release %v", job, sol.Schedule.Start[job], rel)
+		}
+	}
+	// The second fast instance starts at or after 50 ms.
+	for pid, p := range sol.Unrolled.App.Procs {
+		if p.Name == "F1#1" && sol.Schedule.Start[pid] < 50 {
+			t.Errorf("F1#1 starts at %v, want ≥ 50", sol.Schedule.Start[pid])
+		}
+	}
+}
+
+// TestEvaluateReliabilityScalesWithRate: doubling the fast rate doubles
+// that graph's executions per hour; the analysis must still meet the goal
+// with at most one extra re-execution.
+func TestEvaluateReliabilityScalesWithRate(t *testing.T) {
+	s := twoRateSpec(t)
+	ar := twoNodeArch()
+	goal := sfp.Goal{Gamma: 1e-5, Tau: 3.6e6}
+	slow, err := Evaluate(s, ar, []int{0, 0, 1, 1}, goal, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := twoRateSpec(t)
+	fast.Periods = []float64{25, 100}
+	fast.App.Graphs[0].Deadline = 25
+	fSol, err := Evaluate(fast, ar, []int{0, 0, 1, 1}, goal, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fSol.Reliable {
+		t.Fatal("faster rate should still be reliable")
+	}
+	if fSol.Ks[0] < slow.Ks[0] {
+		t.Errorf("faster rate lowered the budget: %v vs %v", fSol.Ks, slow.Ks)
+	}
+	// Four fast instances now.
+	if fSol.Unrolled.App.NumProcesses() != 2*4+2 {
+		t.Errorf("%d jobs, want 10", fSol.Unrolled.App.NumProcesses())
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	s := twoRateSpec(t)
+	ar := twoNodeArch()
+	goal := sfp.Goal{Gamma: 1e-5, Tau: 3.6e6}
+	if _, err := Evaluate(s, ar, []int{0}, goal, nil, 0); err == nil {
+		t.Error("want error for short mapping")
+	}
+	if _, err := Evaluate(s, ar, []int{0, 0, 1, 9}, goal, nil, 0); err == nil {
+		t.Error("want error for invalid node")
+	}
+	if _, err := Evaluate(s, ar, []int{0, 0, 1, 1}, sfp.Goal{}, nil, 0); err == nil {
+		t.Error("want error for invalid goal")
+	}
+}
+
+// TestUnrolledDeadlineTightness: a slow job with a tight absolute
+// deadline that the schedule cannot meet flips Schedulable.
+func TestUnrolledDeadlineTightness(t *testing.T) {
+	s := twoRateSpec(t)
+	// Make every process enormous relative to the deadlines.
+	ar := twoNodeArch()
+	for j := range ar.Nodes {
+		for i := range ar.Nodes[j].Versions[0].WCET {
+			ar.Nodes[j].Versions[0].WCET[i] = 60
+		}
+	}
+	sol, err := Evaluate(s, ar, []int{0, 0, 1, 1}, sfp.Goal{Gamma: 1e-5, Tau: 3.6e6}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Schedulable {
+		t.Error("oversized WCETs should be unschedulable")
+	}
+}

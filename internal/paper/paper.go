@@ -1,0 +1,142 @@
+// Package paper encodes the concrete examples printed in the paper —
+// the application of Fig. 1 with the h-version tables of nodes N1 and N2,
+// and the single-process example of Fig. 3 — so that tests, examples and
+// benchmarks across the repository reproduce the published numbers from a
+// single definition.
+package paper
+
+import (
+	"repro/internal/appmodel"
+	"repro/internal/platform"
+)
+
+// Fig. 1 constants.
+const (
+	// Fig1Deadline is the deadline D of application graph G1.
+	Fig1Deadline = 360 // ms
+	// Fig1Mu is the recovery overhead μ of the Fig. 1 application.
+	Fig1Mu = 15 // ms
+	// Fig1Gamma is γ in the reliability goal ρ = 1 − γ per hour.
+	Fig1Gamma = 1e-5
+)
+
+// Fig1Application returns the four-process application A = {G1} of Fig. 1:
+// the diamond P1 → {P2, P3} → P4 with messages m1..m4, deadline 360 ms and
+// μ = 15 ms.
+func Fig1Application() *appmodel.Application {
+	b := appmodel.NewBuilder("A")
+	b.Graph("G1", Fig1Deadline)
+	p1 := b.Process("P1", Fig1Mu)
+	p2 := b.Process("P2", Fig1Mu)
+	p3 := b.Process("P3", Fig1Mu)
+	p4 := b.Process("P4", Fig1Mu)
+	b.Edge("m1", p1, p2, 8)
+	b.Edge("m2", p1, p3, 8)
+	b.Edge("m3", p2, p4, 8)
+	b.Edge("m4", p3, p4, 8)
+	b.Period(Fig1Deadline)
+	return b.MustBuild()
+}
+
+// Fig1Platform returns nodes N1 and N2 of Fig. 1, each with three
+// h-versions. WCETs are in milliseconds; failure probabilities are per
+// process execution; costs are 16/32/64 for N1 and 20/40/80 for N2.
+//
+// The bus slot length is chosen small (5 ms) relative to the process
+// WCETs, consistent with the figure's schedules where message transmission
+// is visible but thin.
+func Fig1Platform() *platform.Platform {
+	n1 := platform.Node{
+		ID:   0,
+		Name: "N1",
+		Versions: []platform.HVersion{
+			{
+				Level:    1,
+				Cost:     16,
+				WCET:     []float64{60, 75, 60, 75},
+				FailProb: []float64{1.2e-3, 1.3e-3, 1.4e-3, 1.6e-3},
+			},
+			{
+				Level:    2,
+				Cost:     32,
+				WCET:     []float64{75, 90, 75, 90},
+				FailProb: []float64{1.2e-5, 1.3e-5, 1.4e-5, 1.6e-5},
+			},
+			{
+				Level:    3,
+				Cost:     64,
+				WCET:     []float64{90, 105, 90, 105},
+				FailProb: []float64{1.2e-10, 1.3e-10, 1.4e-10, 1.6e-10},
+			},
+		},
+	}
+	n2 := platform.Node{
+		ID:   1,
+		Name: "N2",
+		Versions: []platform.HVersion{
+			{
+				Level:    1,
+				Cost:     20,
+				WCET:     []float64{65, 50, 50, 65},
+				FailProb: []float64{1e-3, 1.2e-3, 1.2e-3, 1.3e-3},
+			},
+			{
+				Level:    2,
+				Cost:     40,
+				WCET:     []float64{75, 60, 60, 75},
+				FailProb: []float64{1e-5, 1.2e-5, 1.2e-5, 1.3e-5},
+			},
+			{
+				Level:    3,
+				Cost:     80,
+				WCET:     []float64{90, 75, 75, 90},
+				FailProb: []float64{1e-10, 1.2e-10, 1.2e-10, 1.3e-10},
+			},
+		},
+	}
+	return &platform.Platform{
+		Nodes: []platform.Node{n1, n2},
+		Bus:   platform.BusSpec{SlotLen: 5},
+	}
+}
+
+// Fig. 3 constants.
+const (
+	// Fig3Deadline is the deadline of the Fig. 3 example.
+	Fig3Deadline = 360 // ms
+	// Fig3Mu is the recovery overhead μ of the Fig. 3 example.
+	Fig3Mu = 20 // ms
+	// Fig3Gamma is γ in the reliability goal ρ = 1 − γ per hour.
+	Fig3Gamma = 1e-5
+)
+
+// Fig3Application returns the single-process application of Fig. 3 with
+// deadline 360 ms and μ = 20 ms.
+func Fig3Application() *appmodel.Application {
+	b := appmodel.NewBuilder("Fig3")
+	b.Graph("G", Fig3Deadline)
+	b.Process("P1", Fig3Mu)
+	b.Period(Fig3Deadline)
+	return b.MustBuild()
+}
+
+// Fig3Platform returns node N1 of Fig. 3 with its three h-versions:
+// t = 80/100/160 ms, p = 4e-2/4e-4/4e-6, cost = 10/20/40.
+func Fig3Platform() *platform.Platform {
+	n1 := platform.Node{
+		ID:   0,
+		Name: "N1",
+		Versions: []platform.HVersion{
+			{Level: 1, Cost: 10, WCET: []float64{80}, FailProb: []float64{4e-2}},
+			{Level: 2, Cost: 20, WCET: []float64{100}, FailProb: []float64{4e-4}},
+			{Level: 3, Cost: 40, WCET: []float64{160}, FailProb: []float64{4e-6}},
+		},
+	}
+	return &platform.Platform{
+		Nodes: []platform.Node{n1},
+		Bus:   platform.BusSpec{SlotLen: 5},
+	}
+}
+
+// Hour is the time unit τ of the reliability goal, in milliseconds.
+const Hour = 3.6e6

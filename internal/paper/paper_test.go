@@ -1,0 +1,60 @@
+package paper
+
+import "testing"
+
+// TestFixturesValid: the transcribed paper examples satisfy all model
+// invariants.
+func TestFixturesValid(t *testing.T) {
+	app1 := Fig1Application()
+	if err := app1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Fig1Platform().Validate(app1.NumProcesses()); err != nil {
+		t.Error(err)
+	}
+	app3 := Fig3Application()
+	if err := app3.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Fig3Platform().Validate(app3.NumProcesses()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFig1TableValues spot-checks the transcription against the printed
+// table.
+func TestFig1TableValues(t *testing.T) {
+	pl := Fig1Platform()
+	n1 := pl.Nodes[0]
+	if n1.Versions[0].WCET[0] != 60 || n1.Versions[2].WCET[3] != 105 {
+		t.Error("N1 WCETs mistranscribed")
+	}
+	if n1.Versions[1].FailProb[1] != 1.3e-5 {
+		t.Error("N1 failure probabilities mistranscribed")
+	}
+	if n1.Versions[0].Cost != 16 || n1.Versions[1].Cost != 32 || n1.Versions[2].Cost != 64 {
+		t.Error("N1 costs mistranscribed")
+	}
+	n2 := pl.Nodes[1]
+	if n2.Versions[0].Cost != 20 || n2.Versions[2].Cost != 80 {
+		t.Error("N2 costs mistranscribed")
+	}
+	if n2.Versions[1].FailProb[2] != 1.2e-5 || n2.Versions[1].FailProb[3] != 1.3e-5 {
+		t.Error("N2 failure probabilities mistranscribed (Appendix A.2 uses these)")
+	}
+}
+
+// TestFig3TableValues spot-checks Fig. 3.
+func TestFig3TableValues(t *testing.T) {
+	pl := Fig3Platform()
+	v := pl.Nodes[0].Versions
+	if v[0].WCET[0] != 80 || v[1].WCET[0] != 100 || v[2].WCET[0] != 160 {
+		t.Error("Fig. 3 WCETs mistranscribed")
+	}
+	if v[0].FailProb[0] != 4e-2 || v[1].FailProb[0] != 4e-4 || v[2].FailProb[0] != 4e-6 {
+		t.Error("Fig. 3 failure probabilities mistranscribed")
+	}
+	if v[0].Cost != 10 || v[1].Cost != 20 || v[2].Cost != 40 {
+		t.Error("Fig. 3 costs mistranscribed")
+	}
+}

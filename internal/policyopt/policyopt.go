@@ -1,0 +1,415 @@
+// Package policyopt assigns a software fault-tolerance policy to every
+// process — the paper's re-execution, segment-level checkpointing, or
+// active replication — and optimizes the assignment for worst-case
+// schedule length. This is the "fault tolerance policy assignment"
+// problem of the authors' companion work (Pop et al., IEEE TVLSI 2009,
+// reference [15] of the paper), layered over this reproduction's SFP
+// analysis and shared-slack scheduler.
+//
+// The unified evaluation composes the mechanisms:
+//
+//   - replicated processes are cloned onto their replica nodes, leave the
+//     per-node re-execution analysis and contribute an all-replicas-fail
+//     term to the system failure probability;
+//   - the remaining processes recover by re-execution, with the
+//     shared-slack-aware checkpoint planner deciding which of them are
+//     segmented (a plain re-execution is a one-segment plan);
+//   - the re-execution budgets k_j are assigned greedily on the combined
+//     failure model, and the schedule is built with per-process recovery
+//     costs (one segment + μ for checkpointed processes, zero for
+//     replicas).
+//
+// Optimize starts from the all-re-execution assignment and greedily
+// replicates, one at a time, the process whose replication most shortens
+// the worst-case schedule, as long as it helps; checkpointing is always
+// applied where profitable by the planner.
+package policyopt
+
+import (
+	"fmt"
+
+	"repro/internal/appmodel"
+	"repro/internal/checkpoint"
+	"repro/internal/platform"
+	"repro/internal/prob"
+	"repro/internal/replication"
+	"repro/internal/sched"
+	"repro/internal/sfp"
+)
+
+// Policy identifies the fault-tolerance mechanism of one process.
+type Policy int
+
+const (
+	// ReExecution is the paper's whole-process re-execution.
+	ReExecution Policy = iota
+	// Checkpointing re-executes only the failed segment.
+	Checkpointing
+	// Replication runs the process on several nodes simultaneously.
+	Replication
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case ReExecution:
+		return "re-execution"
+	case Checkpointing:
+		return "checkpointing"
+	case Replication:
+		return "replication"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Problem bundles the inputs of the policy assignment.
+type Problem struct {
+	App     *appmodel.Application
+	Arch    *platform.Architecture
+	Mapping []int
+	Goal    sfp.Goal
+	// Overheads are the checkpointing overheads; zero disables
+	// checkpointing benefit (segments stay at 1).
+	Overheads checkpoint.Overheads
+	// Bus carries cross-node messages (nil = instantaneous). The bus is
+	// Reset before every schedule evaluation.
+	Bus sched.Bus
+	// MaxSegments bounds checkpoint counts (0 = 8).
+	MaxSegments int
+	// MaxK caps re-executions per node (0 = sfp.DefaultMaxK).
+	MaxK int
+}
+
+// Assignment is a complete policy assignment.
+type Assignment struct {
+	// Policies[i] is the mechanism of process i.
+	Policies []Policy
+	// Replicas holds the replica nodes of every Replication process.
+	Replicas replication.Assignment
+}
+
+// Solution is one evaluated assignment.
+type Solution struct {
+	Assignment *Assignment
+	// Plan carries the segment counts of checkpointed processes (indexed
+	// by original ProcID; replicas hold 1).
+	Plan *checkpoint.Plan
+	// Ks are the per-node re-execution budgets.
+	Ks []int
+	// Schedule is the static schedule of the expanded application.
+	Schedule *sched.Schedule
+	// ReplicaOf maps expanded processes to original IDs.
+	ReplicaOf   []appmodel.ProcID
+	Reliable    bool
+	Schedulable bool
+}
+
+// Feasible reports whether the solution is reliable and schedulable.
+func (s *Solution) Feasible() bool { return s != nil && s.Reliable && s.Schedulable }
+
+func (p *Problem) maxSegments() int {
+	if p.MaxSegments > 0 {
+		return p.MaxSegments
+	}
+	return 8
+}
+
+func (p *Problem) maxK() int {
+	if p.MaxK > 0 {
+		return p.MaxK
+	}
+	return sfp.DefaultMaxK
+}
+
+// Evaluate analyses and schedules one assignment.
+func Evaluate(p Problem, a *Assignment) (*Solution, error) {
+	if err := p.Goal.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.App.NumProcesses()
+	if len(p.Mapping) != n {
+		return nil, fmt.Errorf("policyopt: mapping covers %d of %d processes", len(p.Mapping), n)
+	}
+	if len(a.Policies) != n {
+		return nil, fmt.Errorf("policyopt: policies cover %d of %d processes", len(a.Policies), n)
+	}
+	for pid, pol := range a.Policies {
+		_, repl := a.Replicas[appmodel.ProcID(pid)]
+		if (pol == Replication) != repl {
+			return nil, fmt.Errorf("policyopt: process %d policy %v inconsistent with replica set", pid, pol)
+		}
+	}
+
+	// Expand replicas.
+	rp := replication.Problem{
+		App:      p.App,
+		Arch:     p.Arch,
+		Mapping:  p.Mapping,
+		Replicas: a.Replicas,
+		Goal:     p.Goal,
+	}
+	if err := rp.Validate(); err != nil {
+		return nil, err
+	}
+	expApp, expMapping, replicaOf, err := replication.Expand(rp)
+	if err != nil {
+		return nil, err
+	}
+	expArch := replication.ExpandedArch(rp, replicaOf)
+
+	// Fixed point between budgets and segment plans, as in
+	// checkpoint.Evaluate.
+	ks := make([]int, len(p.Arch.Nodes))
+	var plan *checkpoint.Plan
+	reliable := false
+	for round := 0; round < 4; round++ {
+		plan, err = planSegments(p, a, ks)
+		if err != nil {
+			return nil, err
+		}
+		next, ok := assignKs(p, a, plan)
+		if !ok {
+			return &Solution{Assignment: a, Plan: plan, Ks: next, ReplicaOf: replicaOf}, nil
+		}
+		reliable = true
+		if equalInts(next, ks) {
+			ks = next
+			break
+		}
+		ks = next
+	}
+
+	// Scheduler overrides over the expanded process set.
+	extra := make([]float64, expApp.NumProcesses())
+	recovery := make([]float64, expApp.NumProcesses())
+	for pid := 0; pid < expApp.NumProcesses(); pid++ {
+		orig := replicaOf[pid]
+		if a.Policies[orig] == Replication {
+			extra[pid] = 0
+			recovery[pid] = 0
+			continue
+		}
+		extra[pid] = plan.ExtraExec[orig]
+		recovery[pid] = plan.Recovery[orig]
+	}
+	s, err := sched.Build(sched.Input{
+		App:       expApp,
+		Arch:      expArch,
+		Mapping:   expMapping,
+		Ks:        ks,
+		Bus:       p.Bus,
+		ExtraExec: extra,
+		Recovery:  recovery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Assignment:  a,
+		Plan:        plan,
+		Ks:          ks,
+		Schedule:    s,
+		ReplicaOf:   replicaOf,
+		Reliable:    reliable,
+		Schedulable: s.Schedulable(expApp),
+	}, nil
+}
+
+// planSegments runs the shared-slack checkpoint planner over the
+// non-replicated processes only (replicated processes keep one segment).
+func planSegments(p Problem, a *Assignment, ks []int) (*checkpoint.Plan, error) {
+	plan, err := checkpoint.NewSharedSlackPlan(p.App, p.Arch, p.Mapping, ks, p.Overheads, p.maxSegments())
+	if err != nil {
+		return nil, err
+	}
+	for pid := range a.Policies {
+		switch a.Policies[pid] {
+		case Replication:
+			plan.Segments[pid] = 1
+			plan.ExtraExec[pid] = 0
+			plan.Recovery[pid] = 0
+		case ReExecution:
+			// Undo any segmentation the planner chose: the process's
+			// policy forbids checkpointing.
+			if plan.Segments[pid] > 1 {
+				plan.Segments[pid] = 1
+				plan.ExtraExec[pid] = 0
+				v := p.Arch.Version(p.Mapping[pid])
+				plan.Recovery[pid] = checkpoint.RecoveryCost(v.WCET[pid], 1, p.App.Procs[pid].Mu)
+			}
+		}
+	}
+	return plan, nil
+}
+
+// assignKs runs the gradient-guided budget assignment over the combined
+// failure model (segment probabilities for re-executed/checkpointed
+// processes plus all-replicas-fail terms).
+func assignKs(p Problem, a *Assignment, plan *checkpoint.Plan) ([]int, bool) {
+	nodeProbs := make([][]float64, len(p.Arch.Nodes))
+	for pid := 0; pid < p.App.NumProcesses(); pid++ {
+		if a.Policies[pid] == Replication {
+			continue
+		}
+		j := p.Mapping[pid]
+		v := p.Arch.Version(j)
+		segP := checkpoint.SegmentFailProb(v.FailProb[pid], plan.Segments[pid])
+		for s := 0; s < plan.Segments[pid]; s++ {
+			nodeProbs[j] = append(nodeProbs[j], segP)
+		}
+	}
+	analysis, err := sfp.NewAnalysis(nodeProbs, p.App.EffectivePeriod(), p.maxK())
+	if err != nil {
+		return nil, false
+	}
+	var replFail []float64
+	for pid := 0; pid < p.App.NumProcesses(); pid++ {
+		nodes, ok := a.Replicas[appmodel.ProcID(pid)]
+		if !ok {
+			continue
+		}
+		prod := 1.0
+		for _, j := range nodes {
+			prod *= p.Arch.Version(j).FailProb[pid]
+		}
+		replFail = append(replFail, prob.Clamp01(prob.CeilP(prod)))
+	}
+	sysFail := func(ks []int) float64 {
+		fails := make([]float64, 0, len(analysis.Nodes)+len(replFail))
+		for j, node := range analysis.Nodes {
+			fails = append(fails, node.FailureProb(ks[j]))
+		}
+		fails = append(fails, replFail...)
+		return sfp.SystemFailureProb(fails)
+	}
+	ks := make([]int, len(p.Arch.Nodes))
+	for sfp.Reliability(sysFail(ks), analysis.Period, p.Goal.Tau) < p.Goal.Rho() {
+		best, bestFail := -1, 0.0
+		for j, node := range analysis.Nodes {
+			if ks[j] >= node.MaxK() || node.FailureProb(ks[j]+1) >= node.FailureProb(ks[j]) {
+				continue
+			}
+			ks[j]++
+			f := sysFail(ks)
+			ks[j]--
+			if best < 0 || f < bestFail {
+				best, bestFail = j, f
+			}
+		}
+		if best < 0 {
+			return ks, false
+		}
+		ks[best]++
+	}
+	return ks, true
+}
+
+// Optimize greedily improves the policy assignment: starting from
+// checkpointed re-execution everywhere, it repeatedly evaluates
+// replicating each process on its least-loaded other node and keeps the
+// single change that most reduces the worst-case schedule length (among
+// reliable solutions), until no change helps. The number of replication
+// candidates per round is bounded by the process count, so the search
+// terminates after at most n improving rounds.
+func Optimize(p Problem) (*Solution, error) {
+	n := p.App.NumProcesses()
+	cur := &Assignment{
+		Policies: make([]Policy, n),
+		Replicas: replication.Assignment{},
+	}
+	for pid := 0; pid < n; pid++ {
+		cur.Policies[pid] = Checkpointing
+	}
+	best, err := Evaluate(p, cur)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Arch.Nodes) < 2 {
+		return best, nil // replication needs a second node
+	}
+	for {
+		var improved *Solution
+		var improvedAsg *Assignment
+		for pid := 0; pid < n; pid++ {
+			if cur.Policies[pid] == Replication {
+				continue
+			}
+			other := otherNode(p, pid)
+			if other < 0 {
+				continue
+			}
+			trial := cloneAssignment(cur)
+			trial.Policies[pid] = Replication
+			trial.Replicas[appmodel.ProcID(pid)] = []int{p.Mapping[pid], other}
+			sol, err := Evaluate(p, trial)
+			if err != nil {
+				return nil, err
+			}
+			if !sol.Reliable {
+				continue
+			}
+			if better(sol, best) && (improved == nil || better(sol, improved)) {
+				improved, improvedAsg = sol, trial
+			}
+		}
+		if improved == nil {
+			return best, nil
+		}
+		best, cur = improved, improvedAsg
+	}
+}
+
+// better prefers feasible solutions, then shorter worst-case schedules.
+func better(a, b *Solution) bool {
+	if a.Feasible() != b.Feasible() {
+		return a.Feasible()
+	}
+	if a.Schedule == nil || b.Schedule == nil {
+		return a.Schedule != nil
+	}
+	return a.Schedule.Length < b.Schedule.Length-1e-9
+}
+
+// otherNode picks the architecture node other than the process's own with
+// the smallest total mapped WCET — the cheapest host for a replica.
+func otherNode(p Problem, pid int) int {
+	own := p.Mapping[pid]
+	load := make([]float64, len(p.Arch.Nodes))
+	for q := 0; q < p.App.NumProcesses(); q++ {
+		load[p.Mapping[q]] += p.Arch.Version(p.Mapping[q]).WCET[q]
+	}
+	best, bestLoad := -1, 0.0
+	for j := range p.Arch.Nodes {
+		if j == own {
+			continue
+		}
+		if best < 0 || load[j] < bestLoad {
+			best, bestLoad = j, load[j]
+		}
+	}
+	return best
+}
+
+func cloneAssignment(a *Assignment) *Assignment {
+	cp := &Assignment{
+		Policies: append([]Policy(nil), a.Policies...),
+		Replicas: replication.Assignment{},
+	}
+	for pid, nodes := range a.Replicas {
+		cp.Replicas[pid] = append([]int(nil), nodes...)
+	}
+	return cp
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,255 @@
+package prob
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloorCeilPaperValues(t *testing.T) {
+	// Appendix A.2: (1 − 1.2e-5)(1 − 1.3e-5) rounded down at 1e-11
+	// accuracy is 0.99997500015.
+	x := (1 - 1.2e-5) * (1 - 1.3e-5)
+	if got := FloorP(x); got != 0.99997500015 {
+		t.Errorf("FloorP(%v) = %.11f, want 0.99997500015", x, got)
+	}
+	// 1 − 0.99997500015 − 0.00002499937 rounded up is 4.8e-10.
+	y := 1 - 0.99997500015 - 0.00002499937
+	if got := CeilP(y); math.Abs(got-4.8e-10) > 1e-20 {
+		t.Errorf("CeilP(%v) = %g, want 4.8e-10", y, got)
+	}
+}
+
+func TestFloorCeilBasics(t *testing.T) {
+	cases := []struct {
+		x           float64
+		floor, ceil float64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{0.5, 0.5, 0.5},
+		{1.23e-11, 1e-11, 2e-11},
+		{9.999e-12, 0, 1e-11},
+	}
+	for _, c := range cases {
+		if got := FloorP(c.x); got != c.floor {
+			t.Errorf("FloorP(%v) = %v, want %v", c.x, got, c.floor)
+		}
+		if got := CeilP(c.x); got != c.ceil {
+			t.Errorf("CeilP(%v) = %v, want %v", c.x, got, c.ceil)
+		}
+	}
+}
+
+func TestFloorCeilProperties(t *testing.T) {
+	f := func(u uint32) bool {
+		x := float64(u) / float64(math.MaxUint32) // in [0,1]
+		lo, hi := FloorP(x), CeilP(x)
+		// Allow one ulp of slop from the multiply/divide round trips.
+		const slop = 1e-15
+		return lo <= x+slop && x <= hi+slop && hi-lo <= Eps+slop
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if Clamp01(-0.1) != 0 || Clamp01(1.1) != 1 || Clamp01(0.3) != 0.3 {
+		t.Error("Clamp01 misbehaves")
+	}
+}
+
+func TestCompleteHomogeneousSmall(t *testing.T) {
+	// h_f({p}) = p^f for a single variable.
+	h, err := CompleteHomogeneous([]float64{0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 0.25, 0.125}
+	for i := range want {
+		if math.Abs(h[i]-want[i]) > 1e-15 {
+			t.Errorf("h[%d] = %v, want %v", i, h[i], want[i])
+		}
+	}
+	// h_1 = p1+p2, h_2 = p1²+p1p2+p2².
+	h, err = CompleteHomogeneous([]float64{0.2, 0.3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[1]-0.5) > 1e-15 {
+		t.Errorf("h_1 = %v, want 0.5", h[1])
+	}
+	if math.Abs(h[2]-(0.04+0.06+0.09)) > 1e-15 {
+		t.Errorf("h_2 = %v, want 0.19", h[2])
+	}
+}
+
+func TestCompleteHomogeneousEmpty(t *testing.T) {
+	h, err := CompleteHomogeneous(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 1 || h[1] != 0 || h[2] != 0 {
+		t.Errorf("h of empty set = %v, want [1 0 0]", h)
+	}
+}
+
+func TestCompleteHomogeneousNegativeF(t *testing.T) {
+	if _, err := CompleteHomogeneous([]float64{0.1}, -1); err == nil {
+		t.Error("want error for negative maxF")
+	}
+	if _, err := MultisetSum([]float64{0.1}, -1); err == nil {
+		t.Error("want error for negative f")
+	}
+}
+
+func TestCompleteHomogeneousMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(5)
+		p := make([]float64, m)
+		for i := range p {
+			p[i] = rng.Float64() * 0.1
+		}
+		maxF := rng.Intn(5)
+		h, err := CompleteHomogeneous(p, maxF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f <= maxF; f++ {
+			want, err := MultisetSum(p, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(h[f]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Errorf("m=%d f=%d: DP %v != enumeration %v", m, f, h[f], want)
+			}
+		}
+	}
+}
+
+func TestCompleteHomogeneousMonotoneInF(t *testing.T) {
+	// For probabilities < 1/m the h_f sequence decreases (each extra fault
+	// multiplies by Σp or less); we only assert positivity and decay for a
+	// realistic failure-probability regime.
+	p := []float64{1.2e-5, 1.3e-5, 1.4e-5}
+	h, err := CompleteHomogeneous(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 1; f <= 6; f++ {
+		if h[f] <= 0 {
+			t.Fatalf("h[%d] = %v, want > 0", f, h[f])
+		}
+		if h[f] >= h[f-1] {
+			t.Errorf("h[%d] = %v not below h[%d] = %v", f, h[f], f-1, h[f-1])
+		}
+	}
+}
+
+func TestPowSurvive(t *testing.T) {
+	// Appendix A.2: (1 − 9.6e-10)^10000 = 0.99999040004…
+	got := PowSurvive(9.6e-10, 10000)
+	if math.Abs(got-0.99999040004) > 1e-10 {
+		t.Errorf("PowSurvive = %.11f, want ≈0.99999040004", got)
+	}
+	if PowSurvive(0, 1e6) != 1 {
+		t.Error("PowSurvive(0, n) should be 1")
+	}
+	if PowSurvive(1, 5) != 0 {
+		t.Error("PowSurvive(1, n) should be 0")
+	}
+	if PowSurvive(1, 0) != 1 {
+		t.Error("PowSurvive(1, 0) should be 1")
+	}
+	if PowSurvive(-0.5, 10) != 1 {
+		t.Error("PowSurvive of negative x should clamp to 1")
+	}
+}
+
+func TestPowSurviveMatchesPow(t *testing.T) {
+	f := func(u uint16, n uint8) bool {
+		x := float64(u) / (10 * float64(math.MaxUint16)) // small prob
+		want := math.Pow(1-x, float64(n))
+		got := PowSurvive(x, float64(n))
+		return math.Abs(got-want) <= 1e-12*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionFail(t *testing.T) {
+	if got := UnionFail(nil); got != 0 {
+		t.Errorf("UnionFail(nil) = %v, want 0", got)
+	}
+	if got := UnionFail([]float64{0.5}); got != 0.5 {
+		t.Errorf("UnionFail({0.5}) = %v, want 0.5", got)
+	}
+	// Appendix A.2: union of two 4.8e-10 failures is 9.6e-10 (to within
+	// the paper's rounding).
+	got := UnionFail([]float64{4.8e-10, 4.8e-10})
+	if math.Abs(got-9.6e-10) > 1e-15 {
+		t.Errorf("UnionFail = %g, want ≈9.6e-10", got)
+	}
+}
+
+func TestUnionFailBounds(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		p := []float64{
+			float64(a) / float64(math.MaxUint16),
+			float64(b) / float64(math.MaxUint16),
+			float64(c) / float64(math.MaxUint16),
+		}
+		u := UnionFail(p)
+		maxP := math.Max(p[0], math.Max(p[1], p[2]))
+		sum := p[0] + p[1] + p[2]
+		return u >= maxP-1e-12 && u <= math.Min(1, sum)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompleteHomogeneousMatchesBigFloat cross-checks the float64 DP
+// against exact math/big rational arithmetic on small instances.
+func TestCompleteHomogeneousMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(6)
+		ps := make([]float64, m)
+		rats := make([]*big.Rat, m)
+		for i := range ps {
+			// Use exact dyadic rationals so the float64 inputs are exact.
+			num := int64(1 + rng.Intn(1023))
+			ps[i] = float64(num) / 1024 / 64
+			rats[i] = new(big.Rat).SetFrac64(num, 1024*64)
+		}
+		maxF := 1 + rng.Intn(6)
+		h, err := CompleteHomogeneous(ps, maxF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact DP in big.Rat.
+		exact := make([]*big.Rat, maxF+1)
+		exact[0] = new(big.Rat).SetInt64(1)
+		for f := 1; f <= maxF; f++ {
+			exact[f] = new(big.Rat)
+		}
+		for _, x := range rats {
+			for f := 1; f <= maxF; f++ {
+				term := new(big.Rat).Mul(x, exact[f-1])
+				exact[f].Add(exact[f], term)
+			}
+		}
+		for f := 0; f <= maxF; f++ {
+			want, _ := exact[f].Float64()
+			if math.Abs(h[f]-want) > 1e-13*(1+math.Abs(want)) {
+				t.Fatalf("trial %d f=%d: float64 %v vs exact %v", trial, f, h[f], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package redundancy
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sfp"
+	"repro/internal/ttp"
+)
+
+func fig3Problem() Problem {
+	app := paper.Fig3Application()
+	pl := paper.Fig3Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0]})
+	return Problem{
+		App:     app,
+		Arch:    ar,
+		Mapping: []int{0},
+		Goal:    sfp.Goal{Gamma: paper.Fig3Gamma, Tau: paper.Hour},
+	}
+}
+
+func fig1Problem(nodes []int, mapping []int) Problem {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	var ns []*platform.Node
+	for _, i := range nodes {
+		ns = append(ns, &pl.Nodes[i])
+	}
+	return Problem{
+		App:     app,
+		Arch:    platform.NewArchitecture(ns),
+		Mapping: mapping,
+		Goal:    sfp.Goal{Gamma: paper.Fig1Gamma, Tau: paper.Hour},
+		Bus:     ttp.NewBus(len(ns), pl.Bus.SlotLen),
+	}
+}
+
+// TestReExecutionOptFig3 reproduces the per-level re-execution counts of
+// Fig. 3: k = 6, 2, 1 for hardening levels 1, 2, 3.
+func TestReExecutionOptFig3(t *testing.T) {
+	p := fig3Problem()
+	want := map[int]int{1: 6, 2: 2, 3: 1}
+	for level, wantK := range want {
+		ks, ok, err := ReExecutionOpt(p.App, p.Arch, p.Mapping, []int{level}, p.Goal, sfp.DefaultMaxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("level %d: goal unreachable", level)
+		}
+		if ks[0] != wantK {
+			t.Errorf("level %d: k = %d, want %d", level, ks[0], wantK)
+		}
+	}
+}
+
+// TestReExecutionOptFig4a: the Fig. 4a architecture needs exactly one
+// re-execution per node (Appendix A.2).
+func TestReExecutionOptFig4a(t *testing.T) {
+	p := fig1Problem([]int{0, 1}, []int{0, 0, 1, 1})
+	ks, ok, err := ReExecutionOpt(p.App, p.Arch, p.Mapping, []int{2, 2}, p.Goal, sfp.DefaultMaxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("goal unreachable")
+	}
+	if !reflect.DeepEqual(ks, []int{1, 1}) {
+		t.Errorf("ks = %v, want [1 1]", ks)
+	}
+}
+
+// TestReExecutionOptUnreachable: with an absurd goal the heuristic reports
+// failure instead of looping.
+func TestReExecutionOptUnreachable(t *testing.T) {
+	p := fig3Problem()
+	impossible := sfp.Goal{Gamma: 1e-300, Tau: paper.Hour}
+	ks, ok, err := ReExecutionOpt(p.App, p.Arch, p.Mapping, []int{1}, impossible, sfp.DefaultMaxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("impossible goal reported reachable with ks=%v", ks)
+	}
+}
+
+// TestReExecutionOptGradient: with one much less reliable node, the greedy
+// assigns re-executions there first.
+func TestReExecutionOptGradient(t *testing.T) {
+	p := fig1Problem([]int{0, 1}, []int{0, 0, 1, 1})
+	// N1 at level 1 (p ≈ 1.2e-3), N2 at level 3 (p ≈ 1e-10): all
+	// re-executions should land on node 0.
+	ks, ok, err := ReExecutionOpt(p.App, p.Arch, p.Mapping, []int{1, 3}, p.Goal, sfp.DefaultMaxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("goal unreachable")
+	}
+	if ks[0] == 0 || ks[1] != 0 {
+		t.Errorf("ks = %v, want all re-executions on the unreliable node", ks)
+	}
+}
+
+// TestRedundancyOptFig3 reproduces the conclusion of the first
+// motivational example: the middle h-version N1^2 with k = 2 should be
+// chosen (cost 20), not the unhardened or the maximal one.
+func TestRedundancyOptFig3(t *testing.T) {
+	p := fig3Problem()
+	sol, err := RedundancyOpt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatal("Fig. 3 should be feasible")
+	}
+	if sol.Levels[0] != 2 || sol.Ks[0] != 2 {
+		t.Errorf("chose level %d with k=%d, want level 2 with k=2", sol.Levels[0], sol.Ks[0])
+	}
+	if sol.Cost != 20 {
+		t.Errorf("cost = %v, want 20", sol.Cost)
+	}
+	if sol.Schedule.Length != 340 {
+		t.Errorf("schedule length = %v, want 340", sol.Schedule.Length)
+	}
+}
+
+// TestRedundancyOptFig4a: for the two-node mapping of Fig. 4a the
+// trade-off settles on h = 2 for both nodes with one re-execution each,
+// total cost 72, as in the paper.
+func TestRedundancyOptFig4a(t *testing.T) {
+	p := fig1Problem([]int{0, 1}, []int{0, 0, 1, 1})
+	sol, err := RedundancyOpt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatal("Fig. 4a mapping should be feasible")
+	}
+	if !reflect.DeepEqual(sol.Levels, []int{2, 2}) {
+		t.Errorf("levels = %v, want [2 2]", sol.Levels)
+	}
+	if !reflect.DeepEqual(sol.Ks, []int{1, 1}) {
+		t.Errorf("ks = %v, want [1 1]", sol.Ks)
+	}
+	if sol.Cost != 72 {
+		t.Errorf("cost = %v, want 72 (C_a in Fig. 4)", sol.Cost)
+	}
+}
+
+// TestRedundancyOptFig4e: mapping everything on N2 forces the maximum
+// hardening level (h = 3, k = 0, cost 80) — the only feasible
+// monoprocessor alternative of Fig. 4.
+func TestRedundancyOptFig4e(t *testing.T) {
+	p := fig1Problem([]int{1}, []int{0, 0, 0, 0})
+	sol, err := RedundancyOpt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatal("Fig. 4e mapping should be feasible")
+	}
+	if sol.Levels[0] != 3 {
+		t.Errorf("level = %d, want 3", sol.Levels[0])
+	}
+	if sol.Ks[0] != 0 {
+		t.Errorf("k = %d, want 0", sol.Ks[0])
+	}
+	if sol.Cost != 80 {
+		t.Errorf("cost = %v, want 80 (C_e in Fig. 4)", sol.Cost)
+	}
+}
+
+// TestRedundancyOptFig4dDiscarded: mapping everything on N1 is
+// unschedulable at every hardening level (performance degradation, Fig.
+// 4d) and must be reported infeasible.
+func TestRedundancyOptFig4dDiscarded(t *testing.T) {
+	p := fig1Problem([]int{0}, []int{0, 0, 0, 0})
+	sol, err := RedundancyOpt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Feasible() {
+		t.Errorf("Fig. 4d mapping should be infeasible, got levels %v ks %v", sol.Levels, sol.Ks)
+	}
+}
+
+// TestEvaluateDoesNotMutateArch: Evaluate must leave the problem's
+// architecture untouched.
+func TestEvaluateDoesNotMutateArch(t *testing.T) {
+	p := fig1Problem([]int{0, 1}, []int{0, 0, 1, 1})
+	before := append([]int(nil), p.Arch.Levels...)
+	if _, err := Evaluate(p, []int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, p.Arch.Levels) {
+		t.Errorf("architecture levels mutated: %v -> %v", before, p.Arch.Levels)
+	}
+}
+
+// TestEvaluateErrors covers defensive paths.
+func TestEvaluateErrors(t *testing.T) {
+	p := fig3Problem()
+	if _, err := Evaluate(p, []int{9}); err == nil {
+		t.Error("want error for invalid level")
+	}
+	p.Mapping = []int{5}
+	if _, err := Evaluate(p, []int{1}); err == nil {
+		t.Error("want error for invalid mapping")
+	}
+	p = fig3Problem()
+	p.Goal = sfp.Goal{}
+	if _, err := Evaluate(p, []int{1}); err == nil {
+		t.Error("want error for invalid goal")
+	}
+}
+
+// TestSolutionFeasibleNil: Feasible on a nil solution is false, not a
+// panic.
+func TestSolutionFeasibleNil(t *testing.T) {
+	var s *Solution
+	if s.Feasible() {
+		t.Error("nil solution should be infeasible")
+	}
+}
+
+// TestRedundancyOptUsesSlackModel: the per-process slack model is more
+// pessimistic on monoprocessor mappings, so it can only require equal or
+// more hardening than the shared model.
+func TestRedundancyOptUsesSlackModel(t *testing.T) {
+	pShared := fig1Problem([]int{1}, []int{0, 0, 0, 0})
+	solShared, err := RedundancyOpt(pShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPP := fig1Problem([]int{1}, []int{0, 0, 0, 0})
+	pPP.Model = sched.SlackPerProcess
+	solPP, err := RedundancyOpt(pPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solPP.Feasible() && solShared.Feasible() && solPP.Cost < solShared.Cost {
+		t.Errorf("per-process slack found a cheaper solution (%v < %v)", solPP.Cost, solShared.Cost)
+	}
+}
+
+// TestFixedLevelsPath: the MIN/MAX baselines evaluate exactly the fixed
+// levels, skipping the hardening search.
+func TestFixedLevelsPath(t *testing.T) {
+	p := fig3Problem()
+	p.FixedLevels = []int{1}
+	sol, err := RedundancyOpt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Levels[0] != 1 {
+		t.Errorf("fixed level ignored: %v", sol.Levels)
+	}
+	if sol.Feasible() {
+		t.Error("level 1 with k=6 should be unschedulable (Fig. 3a)")
+	}
+	p.FixedLevels = []int{1, 2}
+	if _, err := RedundancyOpt(p); err == nil {
+		t.Error("want error for fixed-levels length mismatch")
+	}
+}

@@ -1,0 +1,445 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/paper"
+	"repro/internal/platform"
+	"repro/internal/ttp"
+)
+
+// fig3Input builds the Fig. 3 scheduling problem on h-version level with k
+// re-executions.
+func fig3Input(level, k int) Input {
+	app := paper.Fig3Application()
+	pl := paper.Fig3Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0]})
+	ar.Levels[0] = level
+	return Input{App: app, Arch: ar, Mapping: []int{0}, Ks: []int{k}}
+}
+
+// TestFig3WorstCaseLengths reproduces the worst-case schedule lengths of
+// Fig. 3: 680 ms with N1^1 and k=6 (misses D=360), and exactly 340 ms for
+// both N1^2/k=2 and N1^3/k=1 — the paper notes the two complete "exactly
+// at the same time".
+func TestFig3WorstCaseLengths(t *testing.T) {
+	cases := []struct {
+		level, k    int
+		wantLen     float64
+		schedulable bool
+	}{
+		{1, 6, 80 + 6*(80+20), false}, // 680
+		{2, 2, 100 + 2*(100+20), true},
+		{3, 1, 160 + 1*(160+20), true},
+	}
+	for _, c := range cases {
+		s, err := Build(fig3Input(c.level, c.k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Length != c.wantLen {
+			t.Errorf("h=%d k=%d: length = %v, want %v", c.level, c.k, s.Length, c.wantLen)
+		}
+		if got := s.Schedulable(paper.Fig3Application()); got != c.schedulable {
+			t.Errorf("h=%d k=%d: schedulable = %v, want %v", c.level, c.k, got, c.schedulable)
+		}
+	}
+	// The two schedulable versions tie exactly (both 340).
+	s2, _ := Build(fig3Input(2, 2))
+	s3, _ := Build(fig3Input(3, 1))
+	if s2.Length != s3.Length {
+		t.Errorf("N1^2/k=2 (%v) and N1^3/k=1 (%v) should tie", s2.Length, s3.Length)
+	}
+}
+
+// fig4 builds one of the architecture alternatives of Fig. 4.
+func fig4(t *testing.T, nodes []int, levels []int, mapping []int, ks []int) (*Schedule, *appmodel.Application) {
+	t.Helper()
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	var ns []*platform.Node
+	for _, idx := range nodes {
+		ns = append(ns, &pl.Nodes[idx])
+	}
+	ar := platform.NewArchitecture(ns)
+	copy(ar.Levels, levels)
+	in := Input{
+		App:     app,
+		Arch:    ar,
+		Mapping: mapping,
+		Ks:      ks,
+		Bus:     ttp.NewBus(len(nodes), pl.Bus.SlotLen),
+	}
+	s, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, app
+}
+
+// TestFig4Alternatives reproduces all five verdicts of Fig. 4 and, where
+// the figure prints them, the exact worst-case schedule lengths.
+func TestFig4Alternatives(t *testing.T) {
+	// (a) N1^2 + N2^2, P1,P2 on N1, P3,P4 on N2, k = (1,1): schedulable.
+	s, app := fig4(t, []int{0, 1}, []int{2, 2}, []int{0, 0, 1, 1}, []int{1, 1})
+	if !s.Schedulable(app) {
+		t.Errorf("(a) should be schedulable, length %v", s.Length)
+	}
+	// (b) only N1^2, k = 2: fault-free 330 + 2×(90+15) = 540.
+	s, app = fig4(t, []int{0}, []int{2}, []int{0, 0, 0, 0}, []int{2})
+	if s.Length != 540 {
+		t.Errorf("(b) length = %v, want 540", s.Length)
+	}
+	if s.Schedulable(app) {
+		t.Error("(b) should be unschedulable")
+	}
+	// (c) only N2^2, k = 2: 270 + 2×(75+15) = 450.
+	s, app = fig4(t, []int{1}, []int{2}, []int{0, 0, 0, 0}, []int{2})
+	if s.Length != 450 {
+		t.Errorf("(c) length = %v, want 450", s.Length)
+	}
+	if s.Schedulable(app) {
+		t.Error("(c) should be unschedulable")
+	}
+	// (d) only N1^3, k = 0: 390 — unschedulable purely from hardening
+	// performance degradation.
+	s, app = fig4(t, []int{0}, []int{3}, []int{0, 0, 0, 0}, []int{0})
+	if s.Length != 390 {
+		t.Errorf("(d) length = %v, want 390", s.Length)
+	}
+	if s.Schedulable(app) {
+		t.Error("(d) should be unschedulable")
+	}
+	// (e) only N2^3, k = 0: 330 — schedulable.
+	s, app = fig4(t, []int{1}, []int{3}, []int{0, 0, 0, 0}, []int{0})
+	if s.Length != 330 {
+		t.Errorf("(e) length = %v, want 330", s.Length)
+	}
+	if !s.Schedulable(app) {
+		t.Error("(e) should be schedulable")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	app := paper.Fig3Application()
+	pl := paper.Fig3Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0]})
+	ok := Input{App: app, Arch: ar, Mapping: []int{0}, Ks: []int{0}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Input)
+	}{
+		{"nil app", func(in *Input) { in.App = nil }},
+		{"nil arch", func(in *Input) { in.Arch = nil }},
+		{"short mapping", func(in *Input) { in.Mapping = nil }},
+		{"bad node", func(in *Input) { in.Mapping = []int{3} }},
+		{"short ks", func(in *Input) { in.Ks = nil }},
+		{"negative k", func(in *Input) { in.Ks = []int{-1} }},
+		{"bad level", func(in *Input) { in.Arch = ar.Clone(); in.Arch.Levels[0] = 9 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := ok
+			c.mutate(&in)
+			if err := in.Validate(); err == nil {
+				t.Error("want error")
+			}
+			if _, err := Build(in); err == nil {
+				t.Error("Build should fail on invalid input")
+			}
+		})
+	}
+}
+
+func TestUnknownSlackModel(t *testing.T) {
+	in := fig3Input(1, 0)
+	in.Model = SlackModel(99)
+	if _, err := Build(in); err == nil {
+		t.Error("want error for unknown slack model")
+	}
+	if s := SlackModel(99).String(); s != "SlackModel(99)" {
+		t.Errorf("String = %q", s)
+	}
+	if SlackShared.String() != "shared" || SlackPerProcess.String() != "per-process" {
+		t.Error("model names changed")
+	}
+}
+
+// randomProblem builds a random application, 2-node architecture and
+// mapping for property tests.
+func randomProblem(rng *rand.Rand) (Input, *appmodel.Application) {
+	b := appmodel.NewBuilder("rand")
+	b.Graph("G", 1e6)
+	n := 3 + rng.Intn(12)
+	ids := make([]appmodel.ProcID, n)
+	for i := range ids {
+		ids[i] = b.Process("P", 1+rng.Float64()*5)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.25 {
+				b.Edge("e", ids[i], ids[j], 8)
+			}
+		}
+	}
+	app := b.MustBuild()
+	mkVersion := func(level int, scale float64) platform.HVersion {
+		w := make([]float64, n)
+		p := make([]float64, n)
+		for i := range w {
+			w[i] = (1 + rng.Float64()*19) * scale
+			p[i] = 1e-4
+		}
+		return platform.HVersion{Level: level, Cost: float64(level * 10), WCET: w, FailProb: p}
+	}
+	nodes := []platform.Node{
+		{ID: 0, Name: "Na", Versions: []platform.HVersion{mkVersion(1, 1)}},
+		{ID: 1, Name: "Nb", Versions: []platform.HVersion{mkVersion(1, 1)}},
+	}
+	// Keep WCET monotone across levels trivially satisfied (single level).
+	pl := &platform.Platform{Nodes: nodes, Bus: platform.BusSpec{SlotLen: 2}}
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0], &pl.Nodes[1]})
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = rng.Intn(2)
+	}
+	in := Input{
+		App:     app,
+		Arch:    ar,
+		Mapping: mapping,
+		Ks:      []int{rng.Intn(3), rng.Intn(3)},
+		Bus:     ttp.NewBus(2, 2),
+	}
+	return in, app
+}
+
+// TestScheduleInvariants checks, over random problems, that precedence
+// constraints hold, node executions do not overlap, worst-case finishes
+// dominate fault-free finishes, and message windows sit between producer
+// finish and consumer start.
+func TestScheduleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		in, app := randomProblem(rng)
+		s, err := Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1e-9
+		for pid := range s.Start {
+			if s.Finish[pid] < s.Start[pid] {
+				t.Fatalf("trial %d: finish before start for P%d", trial, pid)
+			}
+			if s.WorstFinish[pid] < s.Finish[pid]-eps {
+				t.Fatalf("trial %d: worst finish below fault-free finish for P%d", trial, pid)
+			}
+			if s.WorstFinish[pid] > s.Length+eps {
+				t.Fatalf("trial %d: worst finish beyond schedule length", trial)
+			}
+		}
+		for _, e := range app.Edges {
+			if in.Mapping[e.Src] == in.Mapping[e.Dst] {
+				if s.Start[e.Dst] < s.Finish[e.Src]-eps {
+					t.Fatalf("trial %d: intra-node precedence violated on edge %d", trial, e.ID)
+				}
+				if !math.IsNaN(s.MsgStart[e.ID]) {
+					t.Fatalf("trial %d: intra-node edge %d has a bus window", trial, e.ID)
+				}
+			} else {
+				if math.IsNaN(s.MsgStart[e.ID]) {
+					t.Fatalf("trial %d: cross-node edge %d missing bus window", trial, e.ID)
+				}
+				if s.MsgStart[e.ID] < s.Finish[e.Src]-eps {
+					t.Fatalf("trial %d: message departs before producer finishes", trial)
+				}
+				if s.Start[e.Dst] < s.MsgEnd[e.ID]-eps {
+					t.Fatalf("trial %d: consumer starts before message arrives", trial)
+				}
+			}
+		}
+		// Per-node executions are sequential and ordered.
+		for j, order := range s.NodeOrder {
+			for i := 1; i < len(order); i++ {
+				if s.Start[order[i]] < s.Finish[order[i-1]]-eps {
+					t.Fatalf("trial %d: node %d executions overlap", trial, j)
+				}
+			}
+		}
+	}
+}
+
+// TestPerProcessSlackDominatesSharedOnOneNode: on a single node, where no
+// message-wait gaps can hide cascaded delays, the per-process model's
+// length is fault-free + k·Σ(t+μ) while the shared model's is
+// fault-free + k·max(t+μ), so per-process can never be shorter. (Across
+// multiple nodes neither model dominates: per-process delays can hide in
+// idle waits for messages.)
+func TestPerProcessSlackDominatesSharedOnOneNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		in, _ := randomProblem(rng)
+		for i := range in.Mapping {
+			in.Mapping[i] = 0
+		}
+		shared, err := Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inPP := in
+		inPP.Model = SlackPerProcess
+		inPP.Bus = ttp.NewBus(2, 2)
+		perProc, err := Build(inPP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perProc.Length < shared.Length-1e-9 {
+			t.Fatalf("trial %d: per-process length %v below shared %v", trial, perProc.Length, shared.Length)
+		}
+	}
+}
+
+// TestLengthMonotoneInK: adding re-executions never shortens the schedule,
+// in either slack model.
+func TestLengthMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		in, _ := randomProblem(rng)
+		for _, model := range []SlackModel{SlackShared, SlackPerProcess} {
+			in.Model = model
+			in.Bus = ttp.NewBus(2, 2)
+			base, err := Build(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inMore := in
+			inMore.Ks = []int{in.Ks[0] + 1, in.Ks[1] + 1}
+			inMore.Bus = ttp.NewBus(2, 2)
+			more, err := Build(inMore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if more.Length < base.Length-1e-9 {
+				t.Fatalf("trial %d model %v: length decreased when k increased (%v -> %v)",
+					trial, model, base.Length, more.Length)
+			}
+		}
+	}
+}
+
+// TestSharedSlackUsesRunningMax verifies the shared-slack subtlety: a
+// process is only delayed by re-executions of processes scheduled up to
+// it, so an early small process has a smaller worst-case finish than a
+// later large one.
+func TestSharedSlackUsesRunningMax(t *testing.T) {
+	b := appmodel.NewBuilder("chain")
+	b.Graph("G", 1e6)
+	p1 := b.Process("small", 10)
+	p2 := b.Process("large", 10)
+	b.Edge("e", p1, p2, 1)
+	app := b.MustBuild()
+	node := platform.Node{ID: 0, Name: "N", Versions: []platform.HVersion{{
+		Level: 1, Cost: 1, WCET: []float64{10, 100}, FailProb: []float64{1e-5, 1e-5},
+	}}}
+	ar := platform.NewArchitecture([]*platform.Node{&node})
+	s, err := Build(Input{App: app, Arch: ar, Mapping: []int{0, 0}, Ks: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1 worst finish: 10 + 1×(10+10) = 30, not 10 + (100+10).
+	if s.WorstFinish[p1] != 30 {
+		t.Errorf("small process worst finish = %v, want 30", s.WorstFinish[p1])
+	}
+	// P2 worst finish: 110 + 1×(100+10) = 220.
+	if s.WorstFinish[p2] != 220 {
+		t.Errorf("large process worst finish = %v, want 220", s.WorstFinish[p2])
+	}
+}
+
+// TestNilBusInstantMessages: without a bus, cross-node messages arrive
+// instantly.
+func TestNilBusInstantMessages(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0], &pl.Nodes[1]})
+	ar.Levels = []int{2, 2}
+	s, err := Build(Input{App: app, Arch: ar, Mapping: []int{0, 0, 1, 1}, Ks: []int{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P3 starts exactly when P1 finishes (75), no slot delay.
+	if s.Start[2] != 75 {
+		t.Errorf("P3 start = %v, want 75 with instant messages", s.Start[2])
+	}
+	for _, e := range app.Edges {
+		if !math.IsNaN(s.MsgStart[e.ID]) {
+			t.Errorf("edge %d should have no bus window with nil bus", e.ID)
+		}
+	}
+}
+
+// TestFig2WorstCaseShapes reproduces Fig. 2 of the paper: process P1 on
+// three h-versions of N1 (t = 30/45/60 ms, μ = 5 ms) with k = 2/1/0
+// re-executions. The worst-case completions are 30+2×35 = 100,
+// 45+1×50 = 95 and 60 ms — the figure's message that hardening can shrink
+// the worst case despite slower execution.
+func TestFig2WorstCaseShapes(t *testing.T) {
+	app := appmodel.NewBuilder("fig2")
+	app.Graph("G", 1000)
+	app.Process("P1", 5)
+	a := app.MustBuild()
+	node := platform.Node{
+		ID:   0,
+		Name: "N1",
+		Versions: []platform.HVersion{
+			{Level: 1, Cost: 1, WCET: []float64{30}, FailProb: []float64{1e-3}},
+			{Level: 2, Cost: 2, WCET: []float64{45}, FailProb: []float64{1e-5}},
+			{Level: 3, Cost: 4, WCET: []float64{60}, FailProb: []float64{1e-7}},
+		},
+	}
+	cases := []struct {
+		level, k int
+		want     float64
+	}{
+		{1, 2, 100},
+		{2, 1, 95},
+		{3, 0, 60},
+	}
+	for _, c := range cases {
+		ar := platform.NewArchitecture([]*platform.Node{&node})
+		ar.Levels[0] = c.level
+		s, err := Build(Input{App: a, Arch: ar, Mapping: []int{0}, Ks: []int{c.k}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Length != c.want {
+			t.Errorf("h=%d k=%d: worst case %v, want %v", c.level, c.k, s.Length, c.want)
+		}
+	}
+}
+
+// TestReleaseValidation covers the release-time input checks.
+func TestReleaseValidation(t *testing.T) {
+	in := fig3Input(1, 0)
+	in.Release = []float64{-5}
+	if err := in.Validate(); err == nil {
+		t.Error("want error for negative release")
+	}
+	in.Release = []float64{0, 0}
+	if err := in.Validate(); err == nil {
+		t.Error("want error for wrong release length")
+	}
+	in.Release = []float64{50}
+	s, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[0] != 50 {
+		t.Errorf("start %v, want release 50", s.Start[0])
+	}
+}

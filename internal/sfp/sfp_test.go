@@ -1,0 +1,305 @@
+package sfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+// TestAppendixA2Example reproduces the paper's Appendix A.2 computation
+// digit for digit: the Fig. 4a architecture (N1^2 with P1, P2 and N2^2 with
+// P3, P4), first with k = 0 (goal missed), then with k1 = k2 = 1 (goal
+// met).
+func TestAppendixA2Example(t *testing.T) {
+	n1, err := NewNode([]float64{1.2e-5, 1.3e-5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := NewNode([]float64{1.2e-5, 1.3e-5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n1.PrZero(); got != 0.99997500015 {
+		t.Errorf("Pr(0;N1^2) = %.11f, want 0.99997500015", got)
+	}
+	// Pr(f > 0; N1^2) = 1 − 0.99997500015 = 0.00002499985 per the rounding
+	// of formula (4). (The paper prints 0.000024999844 before rounding up;
+	// after its own ceil convention the stored value is a 1e-11 multiple.)
+	pf0 := n1.FailureProb(0)
+	if math.Abs(pf0-(1-0.99997500015)) > 1e-11 {
+		t.Errorf("Pr(f>0;N1^2) = %.12f, want ≈%.12f", pf0, 1-0.99997500015)
+	}
+	// Union with k=0, system reliability over 10000 iterations must miss
+	// the goal ρ = 1 − 1e-5 (paper: 0.60652871884).
+	union0 := SystemFailureProb([]float64{n1.FailureProb(0), n2.FailureProb(0)})
+	rel0 := Reliability(union0, 360, paper.Hour)
+	if rel0 >= 1-1e-5 {
+		t.Errorf("k=0 reliability %v unexpectedly meets goal", rel0)
+	}
+	if math.Abs(rel0-0.60652871884) > 1e-3 {
+		t.Errorf("k=0 reliability = %.11f, want ≈0.60652871884", rel0)
+	}
+	// Pr(1; N1^2) = 0.00002499937 (rounded down).
+	pr1, err := n1.PrExactly(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1 != 0.00002499937 {
+		t.Errorf("Pr(1;N1^2) = %.11f, want 0.00002499937", pr1)
+	}
+	// Pr(f > 1; N1^2) = 4.8e-10 (rounded up).
+	if got := n1.FailureProb(1); math.Abs(got-4.8e-10) > 1e-21 {
+		t.Errorf("Pr(f>1;N1^2) = %g, want 4.8e-10", got)
+	}
+	// Union = 9.6e-10; reliability = (1 − 9.6e-10)^10000 = 0.99999040004.
+	union1 := SystemFailureProb([]float64{n1.FailureProb(1), n2.FailureProb(1)})
+	if math.Abs(union1-9.6e-10) > 1e-21 {
+		t.Errorf("union = %g, want 9.6e-10", union1)
+	}
+	rel1 := Reliability(union1, 360, paper.Hour)
+	if math.Abs(rel1-0.99999040004) > 1e-11 {
+		t.Errorf("k=1 reliability = %.11f, want 0.99999040004", rel1)
+	}
+	if rel1 < 1-1e-5 {
+		t.Error("k=1 should meet the goal ρ = 1 − 1e-5")
+	}
+}
+
+// TestFig3MinimalK checks the motivational example of Fig. 3: on N1's
+// h-versions (p = 4e-2 / 4e-4 / 4e-6), the minimal number of re-executions
+// meeting ρ = 1 − 1e-5 per hour with T = 360 ms is 6, 2 and 1.
+func TestFig3MinimalK(t *testing.T) {
+	goal := Goal{Gamma: paper.Fig3Gamma, Tau: paper.Hour}
+	wantK := map[float64]int{4e-2: 6, 4e-4: 2, 4e-6: 1}
+	for p, want := range wantK {
+		a, err := NewAnalysis([][]float64{{p}}, paper.Fig3Deadline, DefaultMaxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := -1
+		for k := 0; k <= DefaultMaxK; k++ {
+			if a.MeetsGoal([]int{k}, goal) {
+				got = k
+				break
+			}
+		}
+		if got != want {
+			t.Errorf("p=%g: minimal k = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestFig4aMinimalKs checks that the Fig. 4a architecture needs exactly
+// one re-execution on each node, as stated in Section 5 and Appendix A.2.
+func TestFig4aMinimalKs(t *testing.T) {
+	goal := Goal{Gamma: paper.Fig1Gamma, Tau: paper.Hour}
+	a, err := NewAnalysis([][]float64{
+		{1.2e-5, 1.3e-5}, // P1, P2 on N1^2
+		{1.2e-5, 1.3e-5}, // P3, P4 on N2^2
+	}, paper.Fig1Deadline, DefaultMaxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeetsGoal([]int{0, 0}, goal) {
+		t.Error("k=(0,0) should not meet the goal")
+	}
+	if a.MeetsGoal([]int{1, 0}, goal) || a.MeetsGoal([]int{0, 1}, goal) {
+		t.Error("a single re-execution on one node should not suffice")
+	}
+	if !a.MeetsGoal([]int{1, 1}, goal) {
+		t.Error("k=(1,1) should meet the goal")
+	}
+}
+
+func TestNodeRejectsBadProbs(t *testing.T) {
+	if _, err := NewNode([]float64{-0.1}, 2); err == nil {
+		t.Error("want error for negative probability")
+	}
+	if _, err := NewNode([]float64{1.0}, 2); err == nil {
+		t.Error("want error for probability 1")
+	}
+}
+
+func TestEmptyNode(t *testing.T) {
+	n, err := NewNode(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.PrZero() != 1 {
+		t.Errorf("empty node PrZero = %v, want 1", n.PrZero())
+	}
+	if n.FailureProb(0) != 0 {
+		t.Errorf("empty node FailureProb = %v, want 0", n.FailureProb(0))
+	}
+}
+
+func TestFailureProbMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(10)
+		ps := make([]float64, m)
+		for i := range ps {
+			ps[i] = math.Pow(10, -2-4*rng.Float64()) // 1e-2 .. 1e-6
+		}
+		n, err := NewNode(ps, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 12; k++ {
+			if n.FailureProb(k) > n.FailureProb(k-1) {
+				t.Fatalf("trial %d: FailureProb increased from k=%d to k=%d", trial, k-1, k)
+			}
+		}
+		// Probabilities stay in [0,1].
+		for k := 0; k <= 12; k++ {
+			f := n.FailureProb(k)
+			if f < 0 || f > 1 {
+				t.Fatalf("FailureProb(%d) = %v outside [0,1]", k, f)
+			}
+		}
+	}
+}
+
+func TestFailureProbMonotoneInHardening(t *testing.T) {
+	// Lowering every process failure probability (more hardening) cannot
+	// increase the node failure probability at any k.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(8)
+		soft := make([]float64, m)
+		hard := make([]float64, m)
+		for i := range soft {
+			soft[i] = math.Pow(10, -2-3*rng.Float64())
+			hard[i] = soft[i] / 100 // two orders of magnitude, as per hardening levels
+		}
+		ns, err := NewNode(soft, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nh, err := NewNode(hard, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 8; k++ {
+			// The paper's pessimistic rounding loses up to one 1e-11 tick
+			// per rounded term, so monotonicity holds up to (k+2) ticks.
+			slack := float64(k+2) * 1e-11
+			if nh.FailureProb(k) > ns.FailureProb(k)+slack {
+				t.Fatalf("trial %d k=%d: hardened node fails more often (%v vs %v)",
+					trial, k, nh.FailureProb(k), ns.FailureProb(k))
+			}
+		}
+	}
+}
+
+func TestSaturationK(t *testing.T) {
+	n, err := NewNode([]float64{1e-3}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := n.SaturationK()
+	if sat <= 0 || sat >= 16 {
+		t.Errorf("SaturationK = %d, want interior value", sat)
+	}
+	if n.FailureProb(sat+1) < n.FailureProb(sat) {
+		t.Error("failure probability still improving past saturation")
+	}
+	// An empty node saturates immediately.
+	e, _ := NewNode(nil, 4)
+	if e.SaturationK() != 0 {
+		t.Errorf("empty SaturationK = %d, want 0", e.SaturationK())
+	}
+}
+
+func TestFailureProbClamping(t *testing.T) {
+	n, err := NewNode([]float64{0.5, 0.5, 0.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.FailureProb(-3) != n.FailureProb(0) {
+		t.Error("negative k should clamp to 0")
+	}
+	if n.FailureProb(99) != n.FailureProb(8) {
+		t.Error("huge k should clamp to MaxK")
+	}
+	if n.MaxK() != 8 {
+		t.Errorf("MaxK = %d, want 8", n.MaxK())
+	}
+}
+
+func TestPrExactlyRange(t *testing.T) {
+	n, _ := NewNode([]float64{0.1}, 3)
+	if _, err := n.PrExactly(0); err == nil {
+		t.Error("PrExactly(0) should error (use PrZero)")
+	}
+	if _, err := n.PrExactly(4); err == nil {
+		t.Error("PrExactly beyond maxK should error")
+	}
+	v, err := n.PrExactly(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9 * 0.01
+	if math.Abs(v-want) > 1e-11 {
+		t.Errorf("PrExactly(2) = %v, want ≈%v", v, want)
+	}
+}
+
+func TestGoalValidate(t *testing.T) {
+	if err := (Goal{Gamma: 1e-5, Tau: paper.Hour}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, g := range []Goal{{Gamma: 0, Tau: 1}, {Gamma: 1, Tau: 1}, {Gamma: 0.5, Tau: 0}} {
+		if err := g.Validate(); err == nil {
+			t.Errorf("goal %+v should be invalid", g)
+		}
+	}
+	g := Goal{Gamma: 2.5e-5, Tau: paper.Hour}
+	if math.Abs(g.Rho()-(1-2.5e-5)) > 1e-16 {
+		t.Errorf("Rho = %v", g.Rho())
+	}
+}
+
+func TestAnalysisErrors(t *testing.T) {
+	if _, err := NewAnalysis([][]float64{{0.1}}, 0, 4); err == nil {
+		t.Error("want error for zero period")
+	}
+	if _, err := NewAnalysis([][]float64{{2.0}}, 100, 4); err == nil {
+		t.Error("want error for bad probability")
+	}
+}
+
+func TestAnalysisShortKs(t *testing.T) {
+	// Missing entries in ks default to k = 0.
+	a, err := NewAnalysis([][]float64{{1e-4}, {1e-4}}, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := a.SystemReliability([]int{0, 0}, paper.Hour)
+	short := a.SystemReliability(nil, paper.Hour)
+	if full != short {
+		t.Errorf("nil ks should behave as zeros: %v vs %v", full, short)
+	}
+}
+
+func TestReliabilityEdgeCases(t *testing.T) {
+	if Reliability(0.5, 0, paper.Hour) != 0 {
+		t.Error("zero period should yield zero reliability")
+	}
+	if Reliability(0, 100, paper.Hour) != 1 {
+		t.Error("zero failure probability should yield reliability 1")
+	}
+}
+
+// TestMoreIterationsLowerReliability checks the τ/T exponent direction: a
+// shorter period (more iterations per hour) cannot increase reliability.
+func TestMoreIterationsLowerReliability(t *testing.T) {
+	sysFail := 1e-9
+	r1 := Reliability(sysFail, 360, paper.Hour)
+	r2 := Reliability(sysFail, 36, paper.Hour)
+	if r2 > r1 {
+		t.Errorf("10x iterations increased reliability: %v > %v", r2, r1)
+	}
+}

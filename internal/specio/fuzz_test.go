@@ -1,0 +1,37 @@
+package specio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+// FuzzRead feeds arbitrary bytes into the spec decoder: it must never
+// panic, and anything it accepts must satisfy the validated invariants.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, &Spec{
+		Application: paper.Fig3Application(),
+		Platform:    paper.Fig3Platform(),
+		Gamma:       paper.Fig3Gamma,
+	})
+	f.Add(buf.String())
+	f.Add(`{"Gamma": 0.5}`)
+	f.Add(`not json`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted specs are fully valid.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted invalid spec: %v", err)
+		}
+		if spec.Goal().Tau <= 0 {
+			t.Fatal("accepted non-positive tau")
+		}
+	})
+}

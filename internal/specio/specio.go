@@ -1,0 +1,71 @@
+// Package specio reads and writes the JSON problem specification consumed
+// by cmd/ftopt and produced by cmd/appgen: an application, a platform and
+// a reliability goal in one document.
+package specio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/appmodel"
+	"repro/internal/platform"
+	"repro/internal/sfp"
+)
+
+// Spec is one complete design problem.
+type Spec struct {
+	Application *appmodel.Application
+	Platform    *platform.Platform
+	// Gamma is γ in the reliability goal ρ = 1 − γ per time unit.
+	Gamma float64
+	// TauMs is the time unit τ in milliseconds (default: one hour).
+	TauMs float64
+}
+
+// Goal returns the sfp.Goal of the spec, defaulting τ to one hour.
+func (s *Spec) Goal() sfp.Goal {
+	tau := s.TauMs
+	if tau <= 0 {
+		tau = 3.6e6
+	}
+	return sfp.Goal{Gamma: s.Gamma, Tau: tau}
+}
+
+// Validate checks the complete problem.
+func (s *Spec) Validate() error {
+	if s.Application == nil || s.Platform == nil {
+		return fmt.Errorf("specio: missing application or platform")
+	}
+	if err := s.Application.Validate(); err != nil {
+		return err
+	}
+	if err := s.Platform.Validate(s.Application.NumProcesses()); err != nil {
+		return err
+	}
+	return s.Goal().Validate()
+}
+
+// Write emits the spec as indented JSON.
+func Write(w io.Writer, s *Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("specio: encode: %w", err)
+	}
+	return nil
+}
+
+// Read decodes and validates a spec.
+func Read(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("specio: decode: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

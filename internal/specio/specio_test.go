@@ -1,0 +1,77 @@
+package specio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+func fig1Spec() *Spec {
+	return &Spec{
+		Application: paper.Fig1Application(),
+		Platform:    paper.Fig1Platform(),
+		Gamma:       paper.Fig1Gamma,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := fig1Spec()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Application.Name != s.Application.Name {
+		t.Errorf("application name %q", got.Application.Name)
+	}
+	if len(got.Platform.Nodes) != 2 {
+		t.Errorf("platform nodes %d", len(got.Platform.Nodes))
+	}
+	if got.Goal().Gamma != paper.Fig1Gamma {
+		t.Errorf("gamma %v", got.Goal().Gamma)
+	}
+	// τ defaults to one hour.
+	if got.Goal().Tau != 3.6e6 {
+		t.Errorf("tau %v, want one hour", got.Goal().Tau)
+	}
+}
+
+func TestReadRejects(t *testing.T) {
+	if _, err := Read(strings.NewReader("{")); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+	if _, err := Read(strings.NewReader(`{"Gamma": 0.5}`)); err == nil {
+		t.Error("want error for missing application")
+	}
+	// Valid JSON, structurally broken platform.
+	s := fig1Spec()
+	s.Platform.Nodes[0].Versions[0].Cost = -1
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("want validation error for negative cost")
+	}
+}
+
+func TestValidateGoal(t *testing.T) {
+	s := fig1Spec()
+	s.Gamma = 0
+	if err := s.Validate(); err == nil {
+		t.Error("want error for zero gamma")
+	}
+	s.Gamma = 1e-5
+	s.TauMs = 60000 // explicit one minute
+	if s.Goal().Tau != 60000 {
+		t.Error("explicit tau ignored")
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package taskgen generates the synthetic applications and platforms of
+// the paper's experimental evaluation (Section 7):
+//
+//   - applications with 20 or 40 processes, worst-case execution times
+//     between 1 and 20 ms on the fastest node without hardening, and
+//     recovery overheads μ between 1 and 10% of the process WCET;
+//
+//   - computation nodes with five hardening levels, initial (unhardened)
+//     costs between 1 and 6 cost units growing linearly with the level,
+//     hardening performance degradation (HPD) from 5% to 100% growing
+//     linearly with the level, and process failure probabilities derived
+//     from the technology's transient error rate per clock cycle (SER ∈
+//     {10^-10, 10^-11, 10^-12}) through the fault-injection substrate;
+//
+//   - reliability goals ρ = 1 − γ with γ between 7.5·10^-6 and 2.5·10^-5
+//     per hour, and deadlines assigned independently of SER and HPD from
+//     the critical path and load of the unhardened application.
+//
+// All generation is driven by an explicit seed and is reproducible.
+package taskgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/appmodel"
+	"repro/internal/faultsim"
+	"repro/internal/platform"
+	"repro/internal/sfp"
+)
+
+// Config parameterizes one synthetic instance. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	Seed     int64
+	NumProcs int
+	// NumGraphs splits the processes into this many independent task
+	// graphs (the paper models applications as sets of graphs). Zero or
+	// one yields a single graph.
+	NumGraphs int
+	// EdgeProb is the probability of a dependency between a process and a
+	// candidate predecessor in the previous layer.
+	EdgeProb float64
+	// WCETMin/WCETMax bound process WCETs (ms) on the fastest node at
+	// minimum hardening.
+	WCETMin, WCETMax float64
+	// MuFracMin/MuFracMax bound the recovery overhead μ as a fraction of
+	// the process WCET.
+	MuFracMin, MuFracMax float64
+
+	// NumNodeTypes is the number of available computation node types |N|.
+	NumNodeTypes int
+	// NumLevels is the number of hardening levels per node.
+	NumLevels int
+	// SER is the average transient error rate per clock cycle at the
+	// minimum hardening level.
+	SER float64
+	// HPDPercent is the hardening performance degradation from the
+	// minimum to the maximum hardening level, in percent (5..100).
+	HPDPercent float64
+	// CostMin/CostMax bound the initial (unhardened) processor cost.
+	CostMin, CostMax float64
+	// SpeedSpread is the maximum slowdown of non-fastest node types
+	// (e.g. 0.5 means other nodes are 1.0–1.5× slower).
+	SpeedSpread float64
+	// ReductionPerLevel divides the failure probability per hardening
+	// level.
+	ReductionPerLevel float64
+	// CyclesPerMs converts WCET to clock cycles.
+	CyclesPerMs float64
+	// BusSlotLen is the TDMA slot length in ms.
+	BusSlotLen float64
+
+	// DeadlineFactorMin/Max scale the total computational load (on the
+	// fastest node at minimum hardening) into a deadline; values around 1
+	// mean a monoprocessor implementation is borderline. The deadline is
+	// floored at 1.1× the critical path.
+	DeadlineFactorMin, DeadlineFactorMax float64
+	// GammaMin/GammaMax bound the reliability goal γ per hour.
+	GammaMin, GammaMax float64
+}
+
+// DefaultConfig returns the paper's experimental parameterization for an
+// application with n processes at the given technology SER and hardening
+// performance degradation.
+func DefaultConfig(seed int64, n int, ser, hpdPercent float64) Config {
+	return Config{
+		Seed:              seed,
+		NumProcs:          n,
+		EdgeProb:          0.4,
+		WCETMin:           1,
+		WCETMax:           20,
+		MuFracMin:         0.01,
+		MuFracMax:         0.10,
+		NumNodeTypes:      4,
+		NumLevels:         5,
+		SER:               ser,
+		HPDPercent:        hpdPercent,
+		CostMin:           1,
+		CostMax:           6,
+		SpeedSpread:       0.4,
+		ReductionPerLevel: faultsim.DefaultReductionPerLevel,
+		CyclesPerMs:       4 * faultsim.DefaultCyclesPerMs,
+		BusSlotLen:        0.5,
+		DeadlineFactorMin: 0.55,
+		DeadlineFactorMax: 1.45,
+		GammaMin:          7.5e-6,
+		GammaMax:          2.5e-5,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumProcs < 1:
+		return fmt.Errorf("taskgen: NumProcs %d < 1", c.NumProcs)
+	case c.WCETMin <= 0 || c.WCETMax < c.WCETMin:
+		return fmt.Errorf("taskgen: bad WCET range [%v,%v]", c.WCETMin, c.WCETMax)
+	case c.MuFracMin < 0 || c.MuFracMax < c.MuFracMin:
+		return fmt.Errorf("taskgen: bad mu range [%v,%v]", c.MuFracMin, c.MuFracMax)
+	case c.NumNodeTypes < 1:
+		return fmt.Errorf("taskgen: NumNodeTypes %d < 1", c.NumNodeTypes)
+	case c.NumLevels < 1:
+		return fmt.Errorf("taskgen: NumLevels %d < 1", c.NumLevels)
+	case c.SER < 0:
+		return fmt.Errorf("taskgen: negative SER %v", c.SER)
+	case c.HPDPercent < 0:
+		return fmt.Errorf("taskgen: negative HPD %v", c.HPDPercent)
+	case c.CostMin <= 0 || c.CostMax < c.CostMin:
+		return fmt.Errorf("taskgen: bad cost range [%v,%v]", c.CostMin, c.CostMax)
+	case c.DeadlineFactorMin <= 0 || c.DeadlineFactorMax < c.DeadlineFactorMin:
+		return fmt.Errorf("taskgen: bad deadline factor range [%v,%v]", c.DeadlineFactorMin, c.DeadlineFactorMax)
+	case c.GammaMin <= 0 || c.GammaMax < c.GammaMin || c.GammaMax >= 1:
+		return fmt.Errorf("taskgen: bad gamma range [%v,%v]", c.GammaMin, c.GammaMax)
+	}
+	return nil
+}
+
+// Instance is one generated benchmark: application, platform and
+// reliability goal.
+type Instance struct {
+	App      *appmodel.Application
+	Platform *platform.Platform
+	Goal     sfp.Goal
+}
+
+// HPDFactor returns the WCET multiplier of hardening level h (1-based)
+// for a platform with numLevels levels and the given HPD percentage. The
+// minimum level carries the paper's nominal 1% degradation; the maximum
+// level carries the full HPD (e.g. HPD = 100%: factors 1.01, 1.25, 1.50,
+// 1.75, 2.00 — the paper's "1, 25, 50, 75 and 100%").
+func HPDFactor(h, numLevels int, hpdPercent float64) float64 {
+	if h <= 1 || numLevels <= 1 {
+		return 1.01
+	}
+	pct := hpdPercent * float64(h-1) / float64(numLevels-1)
+	return 1 + pct/100
+}
+
+// Generate builds one reproducible instance.
+func Generate(cfg Config) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+	// --- Application: one or more layered DAGs ----------------------
+	b := appmodel.NewBuilder(fmt.Sprintf("synthetic-%d", cfg.Seed))
+	n := cfg.NumProcs
+	numGraphs := cfg.NumGraphs
+	if numGraphs < 1 {
+		numGraphs = 1
+	}
+	if numGraphs > n {
+		numGraphs = n
+	}
+	wcetBase := make([]float64, 0, n)
+	ids := make([]appmodel.ProcID, 0, n)
+	layerOf := make([]int, 0, n)
+	edges := 0
+	for g := 0; g < numGraphs; g++ {
+		// Deadlines are set after generation; use a placeholder.
+		b.Graph(fmt.Sprintf("G%d", g), 1)
+		lo := g * n / numGraphs
+		hi := (g + 1) * n / numGraphs
+		gn := hi - lo
+		// Layering: roughly sqrt(gn) layers of comparable width.
+		numLayers := int(math.Max(2, math.Round(math.Sqrt(float64(gn)))))
+		if gn == 1 {
+			numLayers = 1
+		}
+		for i := 0; i < gn; i++ {
+			w := uniform(cfg.WCETMin, cfg.WCETMax)
+			wcetBase = append(wcetBase, w)
+			mu := w * uniform(cfg.MuFracMin, cfg.MuFracMax)
+			ids = append(ids, b.Process(fmt.Sprintf("P%d", lo+i+1), mu))
+			layerOf = append(layerOf, i*numLayers/gn)
+		}
+		for i := lo; i < hi; i++ {
+			if layerOf[i] == 0 {
+				continue
+			}
+			// Candidate predecessors: previous layer of the same graph.
+			var linked bool
+			for jj := lo; jj < hi; jj++ {
+				if layerOf[jj] == layerOf[i]-1 && rng.Float64() < cfg.EdgeProb {
+					b.Edge(fmt.Sprintf("m%d", edges+1), ids[jj], ids[i], 1+rng.Intn(8))
+					edges++
+					linked = true
+				}
+			}
+			if !linked {
+				// Guarantee connectivity to the previous layer.
+				var prev []int
+				for jj := lo; jj < hi; jj++ {
+					if layerOf[jj] == layerOf[i]-1 {
+						prev = append(prev, jj)
+					}
+				}
+				src := prev[rng.Intn(len(prev))]
+				b.Edge(fmt.Sprintf("m%d", edges+1), ids[src], ids[i], 1+rng.Intn(8))
+				edges++
+			}
+		}
+	}
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Platform ----------------------------------------------------
+	pl := &platform.Platform{Bus: platform.BusSpec{SlotLen: cfg.BusSlotLen}}
+	for t := 0; t < cfg.NumNodeTypes; t++ {
+		speed := 1.0
+		if t > 0 {
+			speed = 1 + rng.Float64()*cfg.SpeedSpread
+		}
+		baseCost := uniform(cfg.CostMin, cfg.CostMax)
+		// Per-(process,node) jitter, fixed across levels so WCET stays
+		// monotone in the level.
+		jitter := make([]float64, n)
+		for i := range jitter {
+			jitter[i] = 0.9 + rng.Float64()*0.2
+		}
+		node := platform.Node{ID: platform.NodeID(t), Name: fmt.Sprintf("N%d", t+1)}
+		for h := 1; h <= cfg.NumLevels; h++ {
+			factor := HPDFactor(h, cfg.NumLevels, cfg.HPDPercent)
+			w := make([]float64, n)
+			p := make([]float64, n)
+			for i := 0; i < n; i++ {
+				w[i] = wcetBase[i] * speed * jitter[i] * factor
+				p[i] = faultsim.DeriveFailProb(w[i], cfg.CyclesPerMs, cfg.SER, h, cfg.ReductionPerLevel)
+			}
+			node.Versions = append(node.Versions, platform.HVersion{
+				Level: h,
+				// Linear cost growth with the hardening level.
+				Cost:     baseCost * float64(h),
+				WCET:     w,
+				FailProb: p,
+			})
+		}
+		pl.Nodes = append(pl.Nodes, node)
+	}
+
+	// --- Deadline (independent of SER and HPD) -----------------------
+	// Lower bound on any makespan at minimum hardening on the fastest
+	// node type: max(critical path, total load spread over all nodes).
+	cp, err := app.CriticalPathLengths(
+		func(pid appmodel.ProcID) float64 { return wcetBase[pid] },
+		func(appmodel.Edge) float64 { return cfg.BusSlotLen },
+	)
+	if err != nil {
+		return nil, err
+	}
+	var cpMax, load float64
+	for i := 0; i < n; i++ {
+		if cp[i] > cpMax {
+			cpMax = cp[i]
+		}
+		load += wcetBase[i]
+	}
+	deadline := math.Max(1.1*cpMax, load*uniform(cfg.DeadlineFactorMin, cfg.DeadlineFactorMax))
+	for gi := range app.Graphs {
+		app.Graphs[gi].Deadline = deadline
+	}
+	app.Period = deadline
+
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(n); err != nil {
+		return nil, err
+	}
+	goal := sfp.Goal{Gamma: uniform(cfg.GammaMin, cfg.GammaMax), Tau: 3.6e6}
+	return &Instance{App: app, Platform: pl, Goal: goal}, nil
+}

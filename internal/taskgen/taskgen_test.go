@@ -1,0 +1,234 @@
+package taskgen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateValidInstances(t *testing.T) {
+	for _, n := range []int{20, 40} {
+		for seed := int64(0); seed < 10; seed++ {
+			cfg := DefaultConfig(seed, n, 1e-11, 25)
+			inst, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if inst.App.NumProcesses() != n {
+				t.Fatalf("generated %d processes, want %d", inst.App.NumProcesses(), n)
+			}
+			if err := inst.App.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Platform.Validate(n); err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Goal.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if inst.Goal.Gamma < 7.5e-6 || inst.Goal.Gamma > 2.5e-5 {
+				t.Errorf("gamma %v outside the paper's range", inst.Goal.Gamma)
+			}
+			if len(inst.Platform.Nodes) != 4 {
+				t.Errorf("%d node types, want 4", len(inst.Platform.Nodes))
+			}
+			for _, node := range inst.Platform.Nodes {
+				if len(node.Versions) != 5 {
+					t.Errorf("node %s has %d levels, want 5", node.Name, len(node.Versions))
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(42, 20, 1e-11, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(42, 20, 1e-11, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.App.Graphs[0].Deadline != b.App.Graphs[0].Deadline {
+		t.Error("same seed produced different deadlines")
+	}
+	if a.Goal.Gamma != b.Goal.Gamma {
+		t.Error("same seed produced different goals")
+	}
+	for i := range a.App.Edges {
+		if a.App.Edges[i] != b.App.Edges[i] {
+			t.Fatalf("edge %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateWCETsInRange(t *testing.T) {
+	inst, err := Generate(DefaultConfig(1, 20, 1e-11, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the fastest node (N1, speed 1.0) at minimum hardening, WCETs are
+	// base × jitter × 1.01, so within [0.9, 1.12×20] ms.
+	v := inst.Platform.Nodes[0].Versions[0]
+	for pid, w := range v.WCET {
+		if w < 1*0.9*1.0 || w > 20*1.1*1.02 {
+			t.Errorf("process %d WCET %v outside expected bounds", pid, w)
+		}
+	}
+	// μ between 1 and 10% of base WCET: bounded by 10% of max WCET.
+	for _, p := range inst.App.Procs {
+		if p.Mu <= 0 || p.Mu > 20*0.10 {
+			t.Errorf("process %q mu %v outside bounds", p.Name, p.Mu)
+		}
+	}
+}
+
+func TestHPDFactorPaperValues(t *testing.T) {
+	// HPD = 100%, 5 levels: 1.01, 1.25, 1.50, 1.75, 2.00.
+	want := []float64{1.01, 1.25, 1.50, 1.75, 2.00}
+	for h := 1; h <= 5; h++ {
+		if got := HPDFactor(h, 5, 100); math.Abs(got-want[h-1]) > 1e-12 {
+			t.Errorf("HPD=100 h=%d: factor %v, want %v", h, got, want[h-1])
+		}
+	}
+	// HPD = 5%: 1.01 … 1.05 with the maximum level at exactly 5%.
+	if got := HPDFactor(5, 5, 5); math.Abs(got-1.05) > 1e-12 {
+		t.Errorf("HPD=5 h=5: factor %v, want 1.05", got)
+	}
+	// Degenerate single-level platform.
+	if HPDFactor(1, 1, 100) != 1.01 {
+		t.Error("single level should carry only the nominal degradation")
+	}
+}
+
+func TestGenerateFailProbsScaleWithSERAndLevel(t *testing.T) {
+	lo, err := Generate(DefaultConfig(5, 20, 1e-12, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Generate(DefaultConfig(5, 20, 1e-10, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed: identical structure, failure probabilities 100× apart at
+	// every level.
+	for nd := range lo.Platform.Nodes {
+		for lv := range lo.Platform.Nodes[nd].Versions {
+			pLo := lo.Platform.Nodes[nd].Versions[lv].FailProb[0]
+			pHi := hi.Platform.Nodes[nd].Versions[lv].FailProb[0]
+			if pLo == 0 || math.Abs(pHi/pLo-100) > 1e-6 {
+				t.Fatalf("node %d level %d: SER scaling broken (%v vs %v)", nd, lv, pLo, pHi)
+			}
+		}
+	}
+	// Levels reduce p by ReductionPerLevel.
+	v := lo.Platform.Nodes[0]
+	for lv := 1; lv < len(v.Versions); lv++ {
+		ratio := v.Versions[lv-1].FailProb[0] / v.Versions[lv].FailProb[0]
+		// WCET grows slightly with the level, so the ratio is slightly
+		// below 100.
+		if ratio < 50 || ratio > 100.5 {
+			t.Errorf("level %d→%d reduction ratio %v, want ≈100", lv, lv+1, ratio)
+		}
+	}
+}
+
+func TestGenerateDeadlineScalesWithFactor(t *testing.T) {
+	tight := DefaultConfig(9, 20, 1e-11, 25)
+	tight.DeadlineFactorMin, tight.DeadlineFactorMax = 1.5, 1.5
+	loose := DefaultConfig(9, 20, 1e-11, 25)
+	loose.DeadlineFactorMin, loose.DeadlineFactorMax = 3.0, 3.0
+	a, err := Generate(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b.App.Graphs[0].Deadline > a.App.Graphs[0].Deadline) {
+		t.Errorf("loose deadline %v not above tight %v", b.App.Graphs[0].Deadline, a.App.Graphs[0].Deadline)
+	}
+	// Deadline equals the period.
+	if a.App.Period != a.App.Graphs[0].Deadline {
+		t.Error("period should equal the deadline")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(1, 20, 1e-11, 25)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.NumProcs = 0 },
+		func(c *Config) { c.WCETMin = 0 },
+		func(c *Config) { c.WCETMax = 0.5 },
+		func(c *Config) { c.MuFracMin = -1 },
+		func(c *Config) { c.NumNodeTypes = 0 },
+		func(c *Config) { c.NumLevels = 0 },
+		func(c *Config) { c.SER = -1 },
+		func(c *Config) { c.HPDPercent = -5 },
+		func(c *Config) { c.CostMin = 0 },
+		func(c *Config) { c.DeadlineFactorMin = 0 },
+		func(c *Config) { c.GammaMin = 0 },
+		func(c *Config) { c.GammaMax = 1 },
+	}
+	for i, m := range mutations {
+		c := good
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should be rejected", i)
+		}
+		if _, err := Generate(c); err == nil {
+			t.Errorf("Generate should reject mutation %d", i)
+		}
+	}
+}
+
+func TestGenerateMultiGraph(t *testing.T) {
+	cfg := DefaultConfig(11, 20, 1e-11, 25)
+	cfg.NumGraphs = 3
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.App.Graphs) != 3 {
+		t.Fatalf("%d graphs, want 3", len(inst.App.Graphs))
+	}
+	if inst.App.NumProcesses() != 20 {
+		t.Fatalf("%d processes", inst.App.NumProcesses())
+	}
+	// All graphs share the deadline and no edge crosses graphs (Validate
+	// enforces the latter; spot-check deadlines).
+	for _, g := range inst.App.Graphs {
+		if g.Deadline != inst.App.Graphs[0].Deadline {
+			t.Error("graph deadlines differ")
+		}
+		if len(g.Procs) == 0 {
+			t.Error("empty graph")
+		}
+	}
+	// More graphs than processes clamps.
+	cfg.NumProcs = 2
+	cfg.NumGraphs = 5
+	inst, err = Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.App.Graphs) != 2 {
+		t.Errorf("%d graphs, want clamp to 2", len(inst.App.Graphs))
+	}
+}
+
+func TestGenerateSingleProcessGraphs(t *testing.T) {
+	cfg := DefaultConfig(13, 4, 1e-11, 25)
+	cfg.NumGraphs = 4
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.App.Edges) != 0 {
+		t.Errorf("single-process graphs should have no edges, got %d", len(inst.App.Edges))
+	}
+}

@@ -1,0 +1,304 @@
+// Package tgff reads and writes a practical subset of the TGFF (Task
+// Graphs For Free, Dick/Rhodes/Wolf) benchmark format, the de-facto
+// interchange format for task graphs in the embedded-systems scheduling
+// literature — the paper's synthetic applications are of exactly this
+// family.
+//
+// Supported constructs:
+//
+//	@TASK_GRAPH <id> {
+//	    PERIOD <ms>
+//	    TASK <name> TYPE <n>
+//	    ARC <name> FROM <task> TO <task> TYPE <n>
+//	    HARD_DEADLINE <name> ON <task> AT <ms>
+//	}
+//
+// '#' starts a comment; whitespace is free-form. Anything else is
+// rejected with a position-annotated error. TGFF "types" are opaque
+// integers here; Application converts a file into the library's model
+// given per-type recovery overheads and message sizes.
+package tgff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/appmodel"
+)
+
+// Task is one TGFF task.
+type Task struct {
+	Name string
+	Type int
+}
+
+// Arc is one TGFF arc (a message).
+type Arc struct {
+	Name     string
+	From, To string
+	Type     int
+}
+
+// Deadline is a TGFF hard deadline on a task.
+type Deadline struct {
+	Name string
+	On   string
+	At   float64
+}
+
+// TaskGraph is one @TASK_GRAPH block.
+type TaskGraph struct {
+	ID        int
+	Period    float64
+	Tasks     []Task
+	Arcs      []Arc
+	Deadlines []Deadline
+}
+
+// File is a parsed TGFF document.
+type File struct {
+	Graphs []TaskGraph
+}
+
+// Parse reads a TGFF document.
+func Parse(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	f := &File{}
+	var cur *TaskGraph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "@TASK_GRAPH":
+			if cur != nil {
+				return nil, fmt.Errorf("tgff:%d: nested @TASK_GRAPH", lineNo)
+			}
+			if len(fields) < 3 || fields[len(fields)-1] != "{" {
+				return nil, fmt.Errorf("tgff:%d: want \"@TASK_GRAPH <id> {\"", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("tgff:%d: bad graph id %q", lineNo, fields[1])
+			}
+			cur = &TaskGraph{ID: id}
+		case "}":
+			if cur == nil {
+				return nil, fmt.Errorf("tgff:%d: unmatched }", lineNo)
+			}
+			f.Graphs = append(f.Graphs, *cur)
+			cur = nil
+		case "PERIOD":
+			if cur == nil {
+				return nil, fmt.Errorf("tgff:%d: PERIOD outside a graph", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tgff:%d: want \"PERIOD <ms>\"", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("tgff:%d: bad period %q", lineNo, fields[1])
+			}
+			cur.Period = v
+		case "TASK":
+			if cur == nil {
+				return nil, fmt.Errorf("tgff:%d: TASK outside a graph", lineNo)
+			}
+			// TASK name TYPE n
+			if len(fields) != 4 || fields[2] != "TYPE" {
+				return nil, fmt.Errorf("tgff:%d: want \"TASK <name> TYPE <n>\"", lineNo)
+			}
+			ty, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("tgff:%d: bad task type %q", lineNo, fields[3])
+			}
+			cur.Tasks = append(cur.Tasks, Task{Name: fields[1], Type: ty})
+		case "ARC":
+			if cur == nil {
+				return nil, fmt.Errorf("tgff:%d: ARC outside a graph", lineNo)
+			}
+			// ARC name FROM a TO b TYPE n
+			if len(fields) != 8 || fields[2] != "FROM" || fields[4] != "TO" || fields[6] != "TYPE" {
+				return nil, fmt.Errorf("tgff:%d: want \"ARC <name> FROM <t> TO <t> TYPE <n>\"", lineNo)
+			}
+			ty, err := strconv.Atoi(fields[7])
+			if err != nil {
+				return nil, fmt.Errorf("tgff:%d: bad arc type %q", lineNo, fields[7])
+			}
+			cur.Arcs = append(cur.Arcs, Arc{Name: fields[1], From: fields[3], To: fields[5], Type: ty})
+		case "HARD_DEADLINE":
+			if cur == nil {
+				return nil, fmt.Errorf("tgff:%d: HARD_DEADLINE outside a graph", lineNo)
+			}
+			// HARD_DEADLINE name ON task AT ms
+			if len(fields) != 6 || fields[2] != "ON" || fields[4] != "AT" {
+				return nil, fmt.Errorf("tgff:%d: want \"HARD_DEADLINE <name> ON <task> AT <ms>\"", lineNo)
+			}
+			at, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil || at <= 0 {
+				return nil, fmt.Errorf("tgff:%d: bad deadline %q", lineNo, fields[5])
+			}
+			cur.Deadlines = append(cur.Deadlines, Deadline{Name: fields[1], On: fields[3], At: at})
+		default:
+			return nil, fmt.Errorf("tgff:%d: unsupported construct %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tgff: read: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("tgff: unterminated @TASK_GRAPH %d", cur.ID)
+	}
+	return f, nil
+}
+
+// Write emits the document.
+func (f *File) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for gi := range f.Graphs {
+		g := &f.Graphs[gi]
+		fmt.Fprintf(bw, "@TASK_GRAPH %d {\n", g.ID)
+		if g.Period > 0 {
+			fmt.Fprintf(bw, "\tPERIOD %g\n", g.Period)
+		}
+		for _, t := range g.Tasks {
+			fmt.Fprintf(bw, "\tTASK %s\tTYPE %d\n", t.Name, t.Type)
+		}
+		for _, a := range g.Arcs {
+			fmt.Fprintf(bw, "\tARC %s\tFROM %s TO %s TYPE %d\n", a.Name, a.From, a.To, a.Type)
+		}
+		for _, d := range g.Deadlines {
+			fmt.Fprintf(bw, "\tHARD_DEADLINE %s ON %s AT %g\n", d.Name, d.On, d.At)
+		}
+		fmt.Fprintln(bw, "}")
+	}
+	return bw.Flush()
+}
+
+// Options tunes the conversion to the library's application model.
+type Options struct {
+	// Mu returns the recovery overhead μ (ms) of a task type; nil means
+	// zero overhead.
+	Mu func(taskType int) float64
+	// MsgSize returns the message size in bytes of an arc type; nil
+	// means 8 bytes.
+	MsgSize func(arcType int) int
+}
+
+// Application converts the file into the library's model. The deadline of
+// each graph is the largest HARD_DEADLINE in it, falling back to the
+// PERIOD; a graph with neither is rejected. The application period is the
+// largest graph period.
+func (f *File) Application(name string, opts Options) (*appmodel.Application, error) {
+	if len(f.Graphs) == 0 {
+		return nil, fmt.Errorf("tgff: no task graphs")
+	}
+	b := appmodel.NewBuilder(name)
+	var maxPeriod float64
+	edgeCount := 0
+	for gi := range f.Graphs {
+		g := &f.Graphs[gi]
+		deadline := g.Period
+		for _, d := range g.Deadlines {
+			if d.At > deadline {
+				deadline = d.At
+			}
+		}
+		if deadline <= 0 {
+			return nil, fmt.Errorf("tgff: graph %d has neither PERIOD nor HARD_DEADLINE", g.ID)
+		}
+		if g.Period > maxPeriod {
+			maxPeriod = g.Period
+		}
+		b.Graph(fmt.Sprintf("TG%d", g.ID), deadline)
+		ids := make(map[string]appmodel.ProcID, len(g.Tasks))
+		for _, t := range g.Tasks {
+			if _, dup := ids[t.Name]; dup {
+				return nil, fmt.Errorf("tgff: graph %d: duplicate task %q", g.ID, t.Name)
+			}
+			mu := 0.0
+			if opts.Mu != nil {
+				mu = opts.Mu(t.Type)
+			}
+			ids[t.Name] = b.Process(t.Name, mu)
+		}
+		for _, a := range g.Arcs {
+			from, ok := ids[a.From]
+			if !ok {
+				return nil, fmt.Errorf("tgff: graph %d: arc %q references unknown task %q", g.ID, a.Name, a.From)
+			}
+			to, ok := ids[a.To]
+			if !ok {
+				return nil, fmt.Errorf("tgff: graph %d: arc %q references unknown task %q", g.ID, a.Name, a.To)
+			}
+			size := 8
+			if opts.MsgSize != nil {
+				size = opts.MsgSize(a.Type)
+			}
+			b.Edge(a.Name, from, to, size)
+			edgeCount++
+		}
+	}
+	if maxPeriod > 0 {
+		b.Period(maxPeriod)
+	}
+	return b.Build()
+}
+
+// FromApplication converts an application into a TGFF document: processes
+// become tasks with their ID as the type, edges become arcs with the edge
+// ID as the type, and each graph carries its deadline as a HARD_DEADLINE
+// on every sink plus the application period as PERIOD.
+func FromApplication(app *appmodel.Application) (*File, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	outdeg := make([]int, app.NumProcesses())
+	for _, e := range app.Edges {
+		outdeg[e.Src]++
+	}
+	for gi := range app.Graphs {
+		g := &app.Graphs[gi]
+		tg := TaskGraph{ID: gi, Period: app.EffectivePeriod()}
+		procs := append([]appmodel.ProcID(nil), g.Procs...)
+		sort.Slice(procs, func(a, b int) bool { return procs[a] < procs[b] })
+		for _, pid := range procs {
+			tg.Tasks = append(tg.Tasks, Task{Name: app.Procs[pid].Name, Type: int(pid)})
+		}
+		for _, eid := range g.Edges {
+			e := app.Edges[eid]
+			tg.Arcs = append(tg.Arcs, Arc{
+				Name: e.Name,
+				From: app.Procs[e.Src].Name,
+				To:   app.Procs[e.Dst].Name,
+				Type: int(e.ID),
+			})
+		}
+		dn := 0
+		for _, pid := range procs {
+			if outdeg[pid] == 0 {
+				tg.Deadlines = append(tg.Deadlines, Deadline{
+					Name: fmt.Sprintf("d%d_%d", gi, dn),
+					On:   app.Procs[pid].Name,
+					At:   g.Deadline,
+				})
+				dn++
+			}
+		}
+		f.Graphs = append(f.Graphs, tg)
+	}
+	return f, nil
+}

@@ -1,0 +1,230 @@
+// Package wcetan is a worst-case execution time analysis substrate. The
+// paper takes its WCETs t_ijh from industrial static analysis tools
+// (Ferdinand et al., "Reliable and Precise WCET Determination for a
+// Real-life Processor" — reference [2]); this package supplies the
+// closest self-contained equivalent: a structured program representation
+// (basic blocks, sequences, branches, bounded loops) whose worst-case
+// cycle count is computed by longest-path evaluation, plus helpers that
+// turn programs into the per-h-version WCET and failure-probability
+// tables of a platform node.
+//
+// The analysis is deliberately of the classical "tree-based" (timing
+// schema) kind: WCET(seq) = Σ WCET(child), WCET(branch) = max over
+// alternatives, WCET(loop) = bound × WCET(body) + overhead. It is safe
+// (never underestimates) for programs without unstructured jumps, which
+// is exactly the class the examples construct.
+package wcetan
+
+import (
+	"fmt"
+
+	"repro/internal/faultsim"
+	"repro/internal/platform"
+)
+
+// Node is a structured program fragment with a worst-case cycle count.
+type Node interface {
+	// Cycles returns the worst-case cycle count of the fragment, or an
+	// error for malformed fragments.
+	Cycles() (int64, error)
+}
+
+// Block is a straight-line basic block.
+type Block struct {
+	Name string
+	// N is the worst-case cycle count of the block.
+	N int64
+}
+
+// Cycles returns the block's cycle count.
+func (b Block) Cycles() (int64, error) {
+	if b.N < 0 {
+		return 0, fmt.Errorf("wcetan: block %q has negative cycle count %d", b.Name, b.N)
+	}
+	return b.N, nil
+}
+
+// Seq is the sequential composition of fragments.
+type Seq []Node
+
+// Cycles sums the children.
+func (s Seq) Cycles() (int64, error) {
+	var sum int64
+	for i, n := range s {
+		if n == nil {
+			return 0, fmt.Errorf("wcetan: nil fragment at position %d", i)
+		}
+		c, err := n.Cycles()
+		if err != nil {
+			return 0, err
+		}
+		sum += c
+	}
+	return sum, nil
+}
+
+// Branch is a multi-way conditional; the worst case takes the most
+// expensive alternative plus the test itself.
+type Branch struct {
+	// TestCycles is the cost of evaluating the condition.
+	TestCycles int64
+	// Alternatives are the branch bodies; an empty alternative set is a
+	// plain test.
+	Alternatives []Node
+}
+
+// Cycles returns test + max(alternatives).
+func (b Branch) Cycles() (int64, error) {
+	if b.TestCycles < 0 {
+		return 0, fmt.Errorf("wcetan: negative test cost %d", b.TestCycles)
+	}
+	var worst int64
+	for i, alt := range b.Alternatives {
+		if alt == nil {
+			return 0, fmt.Errorf("wcetan: nil alternative %d", i)
+		}
+		c, err := alt.Cycles()
+		if err != nil {
+			return 0, err
+		}
+		if c > worst {
+			worst = c
+		}
+	}
+	return b.TestCycles + worst, nil
+}
+
+// Loop is a bounded loop: Bound iterations of Body, plus a per-iteration
+// condition cost and a final exit test.
+type Loop struct {
+	Body Node
+	// Bound is the maximum iteration count (from flow annotation).
+	Bound int64
+	// TestCycles is the per-iteration loop-condition cost.
+	TestCycles int64
+}
+
+// Cycles returns bound × (test + body) + final exit test.
+func (l Loop) Cycles() (int64, error) {
+	if l.Bound < 0 {
+		return 0, fmt.Errorf("wcetan: negative loop bound %d", l.Bound)
+	}
+	if l.TestCycles < 0 {
+		return 0, fmt.Errorf("wcetan: negative loop test cost %d", l.TestCycles)
+	}
+	if l.Body == nil {
+		return 0, fmt.Errorf("wcetan: loop without body")
+	}
+	body, err := l.Body.Cycles()
+	if err != nil {
+		return 0, err
+	}
+	return l.Bound*(l.TestCycles+body) + l.TestCycles, nil
+}
+
+// Program is a named structured program — one per process.
+type Program struct {
+	Name string
+	Root Node
+}
+
+// WCETCycles returns the worst-case cycle count of the program.
+func (p Program) WCETCycles() (int64, error) {
+	if p.Root == nil {
+		return 0, fmt.Errorf("wcetan: program %q has no body", p.Name)
+	}
+	return p.Root.Cycles()
+}
+
+// WCETMs converts the program's cycle count into milliseconds on a clock
+// of clockMHz.
+func (p Program) WCETMs(clockMHz float64) (float64, error) {
+	if clockMHz <= 0 {
+		return 0, fmt.Errorf("wcetan: non-positive clock %v MHz", clockMHz)
+	}
+	c, err := p.WCETCycles()
+	if err != nil {
+		return 0, err
+	}
+	return float64(c) / (clockMHz * 1000), nil
+}
+
+// NodeSpec parameterizes BuildNode: how one computation node derives its
+// h-version tables from analysed programs.
+type NodeSpec struct {
+	ID   platform.NodeID
+	Name string
+	// ClockMHz is the node's clock frequency at minimum hardening.
+	ClockMHz float64
+	// BaseCost is the cost of the unhardened version; level h costs
+	// BaseCost × h.
+	BaseCost float64
+	// Levels is the number of hardening levels.
+	Levels int
+	// HPDPercent is the hardening performance degradation at the maximum
+	// level (linear in between, as in the paper's experiments).
+	HPDPercent float64
+	// SERPerCycle is the transient error rate per clock cycle at minimum
+	// hardening.
+	SERPerCycle float64
+	// ReductionPerLevel divides the failure probability per hardening
+	// level (default 100, as in the paper's Fig. 3).
+	ReductionPerLevel float64
+}
+
+// HPDFactor mirrors the generator's per-level WCET multiplier.
+func hpdFactor(h, levels int, hpd float64) float64 {
+	if h <= 1 || levels <= 1 {
+		return 1.01
+	}
+	return 1 + hpd*float64(h-1)/float64(levels-1)/100
+}
+
+// BuildNode analyses every program and assembles a platform node whose
+// WCET table comes from the analysis and whose failure probabilities come
+// from the fault-injection substrate (p = SER × cycles, reduced per
+// hardening level). programs[i] must correspond to process ID i.
+func BuildNode(spec NodeSpec, programs []Program) (*platform.Node, error) {
+	if spec.ClockMHz <= 0 {
+		return nil, fmt.Errorf("wcetan: node %q: non-positive clock", spec.Name)
+	}
+	if spec.Levels < 1 {
+		return nil, fmt.Errorf("wcetan: node %q: no hardening levels", spec.Name)
+	}
+	if spec.BaseCost <= 0 {
+		return nil, fmt.Errorf("wcetan: node %q: non-positive base cost", spec.Name)
+	}
+	red := spec.ReductionPerLevel
+	if red <= 1 {
+		red = faultsim.DefaultReductionPerLevel
+	}
+	node := &platform.Node{ID: spec.ID, Name: spec.Name}
+	base := make([]float64, len(programs))
+	for i, prog := range programs {
+		w, err := prog.WCETMs(spec.ClockMHz)
+		if err != nil {
+			return nil, fmt.Errorf("wcetan: node %q: process %d: %w", spec.Name, i, err)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("wcetan: node %q: program %q has zero WCET", spec.Name, prog.Name)
+		}
+		base[i] = w
+	}
+	cyclesPerMs := spec.ClockMHz * 1000
+	for h := 1; h <= spec.Levels; h++ {
+		factor := hpdFactor(h, spec.Levels, spec.HPDPercent)
+		w := make([]float64, len(programs))
+		p := make([]float64, len(programs))
+		for i := range programs {
+			w[i] = base[i] * factor
+			p[i] = faultsim.DeriveFailProb(w[i], cyclesPerMs, spec.SERPerCycle, h, red)
+		}
+		node.Versions = append(node.Versions, platform.HVersion{
+			Level:    h,
+			Cost:     spec.BaseCost * float64(h),
+			WCET:     w,
+			FailProb: p,
+		})
+	}
+	return node, nil
+}

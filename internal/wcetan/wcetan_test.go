@@ -1,0 +1,206 @@
+package wcetan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestBlockCycles(t *testing.T) {
+	c, err := Block{Name: "b", N: 42}.Cycles()
+	if err != nil || c != 42 {
+		t.Errorf("cycles = %d, %v", c, err)
+	}
+	if _, err := (Block{Name: "b", N: -1}).Cycles(); err == nil {
+		t.Error("want error for negative cycles")
+	}
+}
+
+func TestSeqCycles(t *testing.T) {
+	s := Seq{Block{N: 10}, Block{N: 20}, Block{N: 30}}
+	c, err := s.Cycles()
+	if err != nil || c != 60 {
+		t.Errorf("cycles = %d, %v", c, err)
+	}
+	if _, err := (Seq{Block{N: 1}, nil}).Cycles(); err == nil {
+		t.Error("want error for nil fragment")
+	}
+	if c, _ := (Seq{}).Cycles(); c != 0 {
+		t.Error("empty sequence should cost 0")
+	}
+}
+
+func TestBranchCycles(t *testing.T) {
+	b := Branch{TestCycles: 5, Alternatives: []Node{Block{N: 10}, Block{N: 100}, Block{N: 50}}}
+	c, err := b.Cycles()
+	if err != nil || c != 105 {
+		t.Errorf("cycles = %d, %v (want test + worst alternative)", c, err)
+	}
+	// Plain test without alternatives.
+	c, err = Branch{TestCycles: 7}.Cycles()
+	if err != nil || c != 7 {
+		t.Errorf("plain test = %d, %v", c, err)
+	}
+	if _, err := (Branch{TestCycles: -1}).Cycles(); err == nil {
+		t.Error("want error for negative test cost")
+	}
+	if _, err := (Branch{Alternatives: []Node{nil}}).Cycles(); err == nil {
+		t.Error("want error for nil alternative")
+	}
+}
+
+func TestLoopCycles(t *testing.T) {
+	l := Loop{Body: Block{N: 100}, Bound: 10, TestCycles: 2}
+	c, err := l.Cycles()
+	if err != nil || c != 10*(2+100)+2 {
+		t.Errorf("cycles = %d, %v", c, err)
+	}
+	if _, err := (Loop{Body: Block{N: 1}, Bound: -1}).Cycles(); err == nil {
+		t.Error("want error for negative bound")
+	}
+	if _, err := (Loop{Bound: 1}).Cycles(); err == nil {
+		t.Error("want error for missing body")
+	}
+	if _, err := (Loop{Body: Block{N: 1}, Bound: 1, TestCycles: -1}).Cycles(); err == nil {
+		t.Error("want error for negative test cost")
+	}
+	// Zero-bound loop costs only the exit test.
+	c, err = Loop{Body: Block{N: 100}, Bound: 0, TestCycles: 3}.Cycles()
+	if err != nil || c != 3 {
+		t.Errorf("zero-bound loop = %d, %v", c, err)
+	}
+}
+
+func TestNestedProgram(t *testing.T) {
+	// A filter: init, then 8 iterations of (load + conditional update),
+	// then writeback.
+	p := Program{
+		Name: "filter",
+		Root: Seq{
+			Block{Name: "init", N: 50},
+			Loop{
+				Bound:      8,
+				TestCycles: 2,
+				Body: Seq{
+					Block{Name: "load", N: 20},
+					Branch{TestCycles: 3, Alternatives: []Node{
+						Block{Name: "update", N: 40},
+						Block{Name: "skip", N: 5},
+					}},
+				},
+			},
+			Block{Name: "writeback", N: 30},
+		},
+	}
+	c, err := p.WCETCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(50 + 8*(2+20+3+40) + 2 + 30)
+	if c != want {
+		t.Errorf("cycles = %d, want %d", c, want)
+	}
+	ms, err := p.WCETMs(100) // 100 MHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-float64(want)/1e5) > 1e-12 {
+		t.Errorf("ms = %v", ms)
+	}
+	if _, err := p.WCETMs(0); err == nil {
+		t.Error("want error for zero clock")
+	}
+	if _, err := (Program{Name: "empty"}).WCETCycles(); err == nil {
+		t.Error("want error for empty program")
+	}
+}
+
+// TestWCETMonotoneInBound: increasing a loop bound can never decrease the
+// WCET (a safety property of the timing schema).
+func TestWCETMonotoneInBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		body := Seq{Block{N: int64(rng.Intn(100))}, Branch{
+			TestCycles:   int64(rng.Intn(5)),
+			Alternatives: []Node{Block{N: int64(rng.Intn(50))}, Block{N: int64(rng.Intn(50))}},
+		}}
+		b1 := int64(rng.Intn(20))
+		l1 := Loop{Body: body, Bound: b1, TestCycles: 1}
+		l2 := Loop{Body: body, Bound: b1 + 1 + int64(rng.Intn(10)), TestCycles: 1}
+		c1, err := l1.Cycles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := l2.Cycles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2 < c1 {
+			t.Fatalf("trial %d: WCET decreased with larger bound", trial)
+		}
+	}
+}
+
+func testPrograms() []Program {
+	return []Program{
+		{Name: "A", Root: Seq{Block{N: 500000}, Loop{Body: Block{N: 10000}, Bound: 100, TestCycles: 10}}},
+		{Name: "B", Root: Branch{TestCycles: 100, Alternatives: []Node{Block{N: 2000000}, Block{N: 800000}}}},
+	}
+}
+
+func TestBuildNode(t *testing.T) {
+	spec := NodeSpec{
+		ID:          0,
+		Name:        "N1",
+		ClockMHz:    1000,
+		BaseCost:    10,
+		Levels:      3,
+		HPDPercent:  25,
+		SERPerCycle: 1e-11,
+	}
+	node, err := BuildNode(spec, testPrograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Versions) != 3 {
+		t.Fatalf("%d versions", len(node.Versions))
+	}
+	// The node passes platform validation.
+	pl := platform.Platform{Nodes: []platform.Node{*node}, Bus: platform.BusSpec{SlotLen: 1}}
+	if err := pl.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// WCET at level 1: program A = 500000 + 100×10010 + 10 cycles at
+	// 1 GHz, with the 1% nominal degradation.
+	wantA := (500000 + 100*10010 + 10) / 1e6 * 1.01
+	if math.Abs(node.Versions[0].WCET[0]-wantA) > 1e-9 {
+		t.Errorf("WCET[A] = %v, want %v", node.Versions[0].WCET[0], wantA)
+	}
+	// Failure probability drops by 100× per level (modulo the small WCET
+	// growth).
+	r := node.Versions[0].FailProb[0] / node.Versions[1].FailProb[0]
+	if r < 80 || r > 101 {
+		t.Errorf("level 1→2 reduction ratio %v", r)
+	}
+}
+
+func TestBuildNodeErrors(t *testing.T) {
+	good := NodeSpec{Name: "N", ClockMHz: 1000, BaseCost: 1, Levels: 2, SERPerCycle: 1e-11}
+	progs := testPrograms()
+	for i, mutate := range []func(*NodeSpec, *[]Program){
+		func(s *NodeSpec, _ *[]Program) { s.ClockMHz = 0 },
+		func(s *NodeSpec, _ *[]Program) { s.Levels = 0 },
+		func(s *NodeSpec, _ *[]Program) { s.BaseCost = 0 },
+		func(_ *NodeSpec, p *[]Program) { (*p)[0].Root = nil },
+		func(_ *NodeSpec, p *[]Program) { (*p)[0].Root = Block{N: 0} },
+	} {
+		s := good
+		ps := append([]Program(nil), progs...)
+		mutate(&s, &ps)
+		if _, err := BuildNode(s, ps); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
