@@ -6,6 +6,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/evalengine"
 	"repro/internal/execsim"
 	"repro/internal/experiments"
 	"repro/internal/faultsim"
@@ -283,7 +284,10 @@ func BenchmarkMappingOptimize(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := mapping.Optimize(p, nil, mapping.ArchitectureCost, mapping.Params{}); err != nil {
+		// A fresh evaluator per iteration measures the cold-start cost the
+		// design strategy pays per run, not a warm-cache replay.
+		ev := evalengine.New(p)
+		if _, err := mapping.Optimize(ev, nil, mapping.ArchitectureCost, mapping.Params{}); err != nil {
 			b.Fatal(err)
 		}
 	}

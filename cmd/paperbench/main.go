@@ -8,11 +8,16 @@
 //	paperbench -fig all           # everything
 //	paperbench -fig 6b -apps 150  # full paper scale (slow)
 //	paperbench -fig cc -md        # Markdown tables
+//	paperbench -fig 6a -cpuprofile cpu.pprof  # profile the run
 //
 // Figures: 6a–6d (the paper's acceptance sweeps), cc (cruise controller),
 // policies (re-execution vs checkpointing vs replication), simulation
-// (execution replay vs static bounds), runtime (OPT wall-clock), ablation
-// (slack sharing, tabu mapping, gradient guidance).
+// (execution replay vs static bounds), runtime (MIN/MAX/OPT wall-clock
+// with the evaluation-engine counters), ablation (slack sharing, tabu
+// mapping, gradient guidance).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// figures, for `go tool pprof`.
 //
 // Absolute acceptance percentages depend on the synthetic workload
 // calibration; the comparisons that matter are the relative ones (see
@@ -24,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/cc"
@@ -46,8 +53,36 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "base seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
 	md := fs.Bool("md", false, "render tables as Markdown instead of ASCII")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the selected figures to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: -memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers}
@@ -83,7 +118,7 @@ func run(args []string, w io.Writer) error {
 		"6c": {"Fig. 6c", table(experiments.Fig6c)},
 		"6d": {"Fig. 6d", table(experiments.Fig6d)},
 		"cc": {"Cruise controller", func() error { return runCC(w, render) }},
-		"runtime": {"OPT runtime", func() error {
+		"runtime": {"Strategy runtime", func() error {
 			t, err := experiments.RuntimeStudy(cfg, 1e-11, 25)
 			if err != nil {
 				return err
@@ -169,6 +204,11 @@ func runCC(w io.Writer, render func(*experiments.Table) error) error {
 	t := experiments.NewTable("Cruise controller (32 processes on ETM/ABS/TCM, D=300 ms, rho=1-1.2e-5)",
 		[]string{"strategy", "feasible", "cost", "schedule length (ms)"})
 	var maxCost, optCost float64
+	type strategyStats struct {
+		s     core.Strategy
+		stats string
+	}
+	var lines []strategyStats
 	for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
 		res, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: s})
 		if err != nil {
@@ -180,6 +220,7 @@ func runCC(w io.Writer, render func(*experiments.Table) error) error {
 			row[3] = fmt.Sprintf("%.1f", res.Schedule.Length)
 		}
 		t.AddRow(row)
+		lines = append(lines, strategyStats{s, res.EvalStats.String()})
 		switch s {
 		case core.MAX:
 			maxCost = res.Cost
@@ -189,6 +230,9 @@ func runCC(w io.Writer, render func(*experiments.Table) error) error {
 	}
 	if err := render(t); err != nil {
 		return err
+	}
+	for _, l := range lines {
+		fmt.Fprintf(w, "%s evaluator: %s\n", l.s, l.stats)
 	}
 	if maxCost > 0 && optCost > 0 {
 		fmt.Fprintf(w, "OPT improves on MAX by %.0f%% in cost (paper: 66%%)\n", 100*(maxCost-optCost)/maxCost)

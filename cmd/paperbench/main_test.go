@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -44,6 +46,38 @@ func TestCCFigure(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{"MIN", "MAX", "OPT", "false", "OPT improves on MAX"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile must produce non-empty
+// pprof files covering the run.
+func TestProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a design strategy")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var sb strings.Builder
+	if err := run([]string{"-fig", "runtime", "-apps", "1", "-procs", "20",
+		"-cpuprofile", cpu, "-memprofile", mem}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// The runtime figure reports the evaluation-engine counters.
+	out := sb.String()
+	for _, want := range []string{"cache hit", "sfp built/reused", "MIN", "MAX", "OPT"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}

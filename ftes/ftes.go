@@ -35,6 +35,7 @@ package ftes
 import (
 	"repro/internal/appmodel"
 	"repro/internal/core"
+	"repro/internal/evalengine"
 	"repro/internal/faultsim"
 	"repro/internal/mapping"
 	"repro/internal/platform"
@@ -193,9 +194,32 @@ const (
 	MinimizeArchitectureCost = mapping.ArchitectureCost
 )
 
-// OptimizeMapping runs the tabu-search mapping optimization.
+// Evaluation engine.
+type (
+	// Evaluator is the stateful, memoizing evaluation engine shared by the
+	// mapping and design-strategy layers. One Evaluator serves one
+	// goroutine.
+	Evaluator = evalengine.Evaluator
+	// EvaluatorStats are the engine's instrumentation counters.
+	EvaluatorStats = evalengine.Stats
+)
+
+// NewEvaluator returns an evaluation engine bound to the given problem
+// (the problem's Mapping field is ignored; mappings are supplied per
+// call).
+func NewEvaluator(p RedundancyProblem) *Evaluator { return evalengine.New(p) }
+
+// OptimizeMapping runs the tabu-search mapping optimization through a
+// fresh evaluation engine. To reuse caches across calls, construct an
+// Evaluator with NewEvaluator and call mapping.Optimize via OptimizeMappingWith.
 func OptimizeMapping(p RedundancyProblem, initial []int, cf MappingCostFunction, params MappingParams) (*MappingResult, error) {
-	return mapping.Optimize(p, initial, cf, params)
+	return mapping.Optimize(evalengine.New(p), initial, cf, params)
+}
+
+// OptimizeMappingWith runs the tabu-search mapping optimization through
+// the given evaluation engine, reusing whatever its caches already hold.
+func OptimizeMappingWith(ev *Evaluator, initial []int, cf MappingCostFunction, params MappingParams) (*MappingResult, error) {
+	return mapping.Optimize(ev, initial, cf, params)
 }
 
 // Design strategy (Fig. 5).

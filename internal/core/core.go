@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/appmodel"
+	"repro/internal/evalengine"
 	"repro/internal/mapping"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
@@ -93,6 +94,9 @@ type Result struct {
 	ArchsExplored int
 	// Evaluations counts RedundancyOpt invocations across the run.
 	Evaluations int
+	// EvalStats reports what the shared evaluation engine did across the
+	// whole run: cache effectiveness, schedule builds and time per layer.
+	EvalStats evalengine.Stats
 }
 
 // Run executes the selected design strategy on the application over the
@@ -118,6 +122,13 @@ func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Resul
 
 	enum := platform.NewEnumerator(pl)
 	res := &Result{}
+	// One evaluation engine is shared across the whole architecture loop:
+	// rebinding it per candidate invalidates exactly what the architecture
+	// change invalidates (solution caches when the node set differs, nothing
+	// when only the mapping seed differs between the two Optimize calls),
+	// while the per-node SFP analyses survive across candidates that reuse
+	// the same platform nodes.
+	var ev *evalengine.Evaluator
 	bestCost := opts.MaxCost
 	if bestCost <= 0 {
 		bestCost = 1e308
@@ -146,9 +157,14 @@ func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Resul
 		}
 
 		prob := problem(app, pl, ar, opts)
+		if ev == nil {
+			ev = evalengine.New(prob)
+		} else {
+			ev.SetProblem(prob)
+		}
 
 		// Fig. 5 line 7: best mapping for schedule length.
-		sl, err := mapping.Optimize(prob, nil, mapping.ScheduleLength, opts.MappingParams)
+		sl, err := mapping.Optimize(ev, nil, mapping.ScheduleLength, opts.MappingParams)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +180,7 @@ func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Resul
 
 		// Fig. 5 line 9: re-optimize the mapping for architecture cost,
 		// seeded with the schedulable mapping.
-		co, err := mapping.Optimize(prob, sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
+		co, err := mapping.Optimize(ev, sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
 		if err != nil {
 			return nil, err
 		}
@@ -186,6 +202,9 @@ func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Resul
 			res.Cost = cand.Solution.Cost
 		}
 		idx++
+	}
+	if ev != nil {
+		res.EvalStats = ev.Stats()
 	}
 	return res, nil
 }

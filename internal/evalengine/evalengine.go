@@ -1,0 +1,409 @@
+// Package evalengine is the shared evaluation engine of the design-space
+// exploration: a stateful, memoizing, instrumented replacement for the
+// free-function pipeline redundancy.Evaluate → sched.Build → SFP analysis
+// that dominates the runtime of the DesignStrategy (Fig. 5).
+//
+// The tabu search of package mapping revisits mappings constantly, and
+// RedundancyOpt probes many hardening vectors that differ in a single
+// node, so the same (architecture, hardening vector, mapping) triples are
+// evaluated over and over. The Evaluator owns
+//
+//   - a memoization cache from (hardening vector, mapping) to the full
+//     redundancy.Solution — the architecture node-set, goal, bus and slack
+//     model are fixed per SetProblem and invalidate the cache when they
+//     change;
+//   - a cache of per-node SFP analyses keyed on (node type, hardening
+//     level, mapped process set), so the combinatorial
+//     complete-homogeneous-polynomial setup of sfp.NewNode runs once per
+//     distinct configuration instead of once per probe;
+//   - a sched.Workspace, so schedule builds stop re-deriving adjacency and
+//     re-allocating scratch buffers on every probe;
+//   - instrumentation counters (evaluations, cache hits and misses,
+//     schedule builds, SFP analyses, wall time per layer) so the effect of
+//     memoization is observable in the experiment reports rather than
+//     asserted.
+//
+// Cached and fresh evaluation are bit-identical: the engine delegates to
+// redundancy.ReExecutionOptAnalysis and sched.BuildInto, which run the
+// exact arithmetic of the uncached path (enforced by
+// TestEvaluatorMatchesFresh).
+//
+// An Evaluator is not safe for concurrent use; the experiment harness
+// creates one per design run (core.Run does this internally).
+package evalengine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/redundancy"
+	"repro/internal/sched"
+	"repro/internal/sfp"
+)
+
+// Cache-size backstops: when a cache exceeds its cap it is dropped
+// wholesale (correctness is unaffected — entries are pure memoization).
+// The caps are far above what a single architecture's search touches; they
+// only bound pathological runs.
+const (
+	maxSolutionEntries = 1 << 15
+	maxOptEntries      = 1 << 14
+	maxSFPEntries      = 1 << 15
+)
+
+// Stats are the engine's instrumentation counters. All counters are
+// cumulative since the Evaluator was created (or ResetStats). The zero
+// value is a valid empty Stats; Add merges run-level stats into
+// experiment-level aggregates.
+type Stats struct {
+	// Evaluations counts Evaluate requests, including cache hits.
+	Evaluations int64
+	// CacheHits and CacheMisses split Evaluations by solution-cache
+	// outcome.
+	CacheHits   int64
+	CacheMisses int64
+	// OptRuns counts RedundancyOpt requests; OptHits of them were answered
+	// from the per-mapping cache without re-running the hardening search.
+	OptRuns int64
+	OptHits int64
+	// ScheduleBuilds counts list-scheduler invocations (one per solution
+	// cache miss).
+	ScheduleBuilds int64
+	// SFPBuilds counts per-node SFP analyses computed (sfp.NewNode);
+	// SFPHits were served from the node-analysis cache.
+	SFPBuilds int64
+	SFPHits   int64
+	// Invalidations counts SetProblem calls that dropped the solution
+	// caches (architecture or model change).
+	Invalidations int64
+	// ReExecTime is the wall time spent in the SFP/re-execution layer
+	// (node analyses plus the greedy k-assignment); SchedTime is the wall
+	// time spent building schedules. Both cover cache misses only — hits
+	// cost neither.
+	ReExecTime time.Duration
+	SchedTime  time.Duration
+}
+
+// HitRate returns the solution-cache hit fraction in [0, 1].
+func (s Stats) HitRate() float64 {
+	if s.Evaluations == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Evaluations)
+}
+
+// OptHitRate returns the per-mapping RedundancyOpt cache hit fraction.
+func (s Stats) OptHitRate() float64 {
+	if s.OptRuns == 0 {
+		return 0
+	}
+	return float64(s.OptHits) / float64(s.OptRuns)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Evaluations += o.Evaluations
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.OptRuns += o.OptRuns
+	s.OptHits += o.OptHits
+	s.ScheduleBuilds += o.ScheduleBuilds
+	s.SFPBuilds += o.SFPBuilds
+	s.SFPHits += o.SFPHits
+	s.Invalidations += o.Invalidations
+	s.ReExecTime += o.ReExecTime
+	s.SchedTime += o.SchedTime
+}
+
+// String renders the counters as the single-line summary printed by the
+// experiment reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("evals=%d hit=%.1f%% opt=%d/%d sched=%d sfp=%d/%d reexec=%v sched-time=%v",
+		s.Evaluations, 100*s.HitRate(), s.OptHits, s.OptRuns,
+		s.ScheduleBuilds, s.SFPHits, s.SFPHits+s.SFPBuilds,
+		s.ReExecTime.Round(time.Microsecond), s.SchedTime.Round(time.Microsecond))
+}
+
+// Evaluator is the memoized evaluation engine for one redundancy problem
+// at a time. Create one with New, move it to the next candidate
+// architecture with SetProblem, and evaluate hardening vectors and
+// mappings with Evaluate / RedundancyOpt. The SFP node cache survives
+// SetProblem (node types recur across candidate architectures); the
+// solution caches are dropped whenever an input that affects them changes.
+type Evaluator struct {
+	prob   redundancy.Problem
+	period float64
+
+	sols      map[string]*redundancy.Solution // (levels, mapping) → solution
+	opts      map[string]*redundancy.Solution // mapping → RedundancyOpt result
+	sfpByNode map[*platform.Node]map[string]*sfp.Node
+	sfpCount  int
+
+	ws       sched.Workspace
+	keyBuf   []byte
+	buckets  [][]int   // per arch node: pids mapped on it, ascending
+	probsBuf []float64 // scratch for one node's failure probabilities
+
+	stats Stats
+}
+
+// New returns an Evaluator for the given problem. The problem's Mapping
+// field is ignored — mappings are per-call inputs.
+func New(p redundancy.Problem) *Evaluator {
+	e := &Evaluator{
+		sols:      make(map[string]*redundancy.Solution),
+		opts:      make(map[string]*redundancy.Solution),
+		sfpByNode: make(map[*platform.Node]map[string]*sfp.Node),
+	}
+	e.set(p)
+	return e
+}
+
+// Problem returns the problem the evaluator is currently bound to.
+func (e *Evaluator) Problem() redundancy.Problem { return e.prob }
+
+// Stats returns a snapshot of the instrumentation counters.
+func (e *Evaluator) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the instrumentation counters (the caches are kept).
+func (e *Evaluator) ResetStats() { e.stats = Stats{} }
+
+// SetProblem rebinds the evaluator to p, invalidating exactly what the
+// change invalidates: a new application or re-execution cap drops
+// everything including the SFP node cache; any other change to the
+// architecture node-set, goal, bus, slack model or fixed levels drops the
+// solution caches only. Rebinding to an identical problem keeps all
+// caches warm (core.Run relies on this when re-optimizing the mapping for
+// cost on the same architecture).
+func (e *Evaluator) SetProblem(p redundancy.Problem) {
+	if e.prob.App != p.App || e.prob.MaxK != p.MaxK {
+		e.sfpByNode = make(map[*platform.Node]map[string]*sfp.Node)
+		e.sfpCount = 0
+		e.dropSolutions()
+	} else if !e.compatible(p) {
+		e.dropSolutions()
+	}
+	e.set(p)
+}
+
+func (e *Evaluator) set(p redundancy.Problem) {
+	e.prob = p
+	e.prob.Mapping = nil
+	if p.App != nil {
+		e.period = p.App.EffectivePeriod()
+	}
+	n := 0
+	if p.Arch != nil {
+		n = len(p.Arch.Nodes)
+	}
+	if cap(e.buckets) < n {
+		e.buckets = make([][]int, n)
+	}
+	e.buckets = e.buckets[:n]
+}
+
+func (e *Evaluator) dropSolutions() {
+	e.sols = make(map[string]*redundancy.Solution)
+	e.opts = make(map[string]*redundancy.Solution)
+	e.stats.Invalidations++
+}
+
+// compatible reports whether the cached solutions remain valid under p:
+// every input of the evaluation pipeline other than the per-call mapping
+// and hardening vector must be unchanged.
+func (e *Evaluator) compatible(p redundancy.Problem) bool {
+	q := e.prob
+	if q.Goal != p.Goal || q.Bus != p.Bus || q.Model != p.Model {
+		return false
+	}
+	if (q.Arch == nil) != (p.Arch == nil) {
+		return false
+	}
+	if p.Arch != nil {
+		if len(q.Arch.Nodes) != len(p.Arch.Nodes) {
+			return false
+		}
+		for j := range p.Arch.Nodes {
+			if q.Arch.Nodes[j] != p.Arch.Nodes[j] {
+				return false
+			}
+		}
+	}
+	if len(q.FixedLevels) != len(p.FixedLevels) {
+		return false
+	}
+	for j := range p.FixedLevels {
+		if q.FixedLevels[j] != p.FixedLevels[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Evaluator) maxK() int {
+	if e.prob.MaxK > 0 {
+		return e.prob.MaxK
+	}
+	return sfp.DefaultMaxK
+}
+
+// appendInts encodes vals into dst as fixed-width big-endian 16-bit
+// values; hardening levels and node indices are far below 1<<16.
+func appendInts(dst []byte, vals []int) []byte {
+	for _, v := range vals {
+		dst = append(dst, byte(v>>8), byte(v))
+	}
+	return dst
+}
+
+// Evaluate returns the full solution (re-executions, schedule, cost,
+// feasibility) for the given mapping and hardening vector, from cache when
+// possible. The returned Solution is shared across callers and must be
+// treated as immutable.
+func (e *Evaluator) Evaluate(mapping, levels []int) (*redundancy.Solution, error) {
+	e.stats.Evaluations++
+	e.keyBuf = appendInts(appendInts(e.keyBuf[:0], levels), mapping)
+	key := string(e.keyBuf)
+	if sol, ok := e.sols[key]; ok {
+		e.stats.CacheHits++
+		return sol, nil
+	}
+	e.stats.CacheMisses++
+	sol, err := e.evaluate(mapping, levels)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.sols) >= maxSolutionEntries {
+		e.sols = make(map[string]*redundancy.Solution)
+	}
+	e.sols[key] = sol
+	return sol, nil
+}
+
+// evaluate is the cache-miss path: the exact pipeline of
+// redundancy.Evaluate, with the SFP node analyses served from the node
+// cache and the schedule built through the reusable workspace.
+func (e *Evaluator) evaluate(mapping, levels []int) (*redundancy.Solution, error) {
+	p := &e.prob
+	start := time.Now()
+	analysis, err := e.analysisFor(mapping, levels)
+	if err != nil {
+		return nil, err
+	}
+	ks, reliable, err := redundancy.ReExecutionOptAnalysis(analysis, p.Goal, e.maxK())
+	e.stats.ReExecTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	ar := p.Arch.Clone()
+	copy(ar.Levels, levels)
+	start = time.Now()
+	s, err := sched.BuildInto(sched.Input{
+		App:     p.App,
+		Arch:    ar,
+		Mapping: mapping,
+		Ks:      ks,
+		Bus:     p.Bus,
+		Model:   p.Model,
+	}, &e.ws)
+	e.stats.SchedTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.ScheduleBuilds++
+	return &redundancy.Solution{
+		Levels:      append([]int(nil), levels...),
+		Ks:          ks,
+		Schedule:    s,
+		Cost:        ar.Cost(),
+		Reliable:    reliable,
+		Schedulable: e.ws.Schedulable(s),
+	}, nil
+}
+
+// analysisFor assembles the SFP analysis for (mapping, levels) from the
+// per-node cache, computing and caching any node analysis not seen before.
+// Process lists are collected in ascending process ID, matching the
+// probability order of the uncached redundancy.ReExecutionOpt path
+// bit-for-bit.
+func (e *Evaluator) analysisFor(mapping, levels []int) (*sfp.Analysis, error) {
+	nodes := e.prob.Arch.Nodes
+	if len(levels) != len(nodes) {
+		return nil, fmt.Errorf("evalengine: levels cover %d of %d nodes", len(levels), len(nodes))
+	}
+	for j := range e.buckets {
+		e.buckets[j] = e.buckets[j][:0]
+	}
+	for pid, j := range mapping {
+		if j < 0 || j >= len(nodes) {
+			return nil, fmt.Errorf("evalengine: process %d mapped to invalid node %d", pid, j)
+		}
+		e.buckets[j] = append(e.buckets[j], pid)
+	}
+	anodes := make([]*sfp.Node, len(nodes))
+	for j, n := range nodes {
+		v := n.Version(levels[j])
+		if v == nil {
+			return nil, fmt.Errorf("evalengine: node %d has no h-version at level %d", j, levels[j])
+		}
+		e.keyBuf = appendInts(appendInts(e.keyBuf[:0], levels[j:j+1]), e.buckets[j])
+		per := e.sfpByNode[n]
+		if nd, ok := per[string(e.keyBuf)]; ok {
+			e.stats.SFPHits++
+			anodes[j] = nd
+			continue
+		}
+		probs := e.probsBuf[:0]
+		for _, pid := range e.buckets[j] {
+			probs = append(probs, v.FailProb[pid])
+		}
+		e.probsBuf = probs[:0]
+		nd, err := sfp.NewNode(probs, e.maxK())
+		if err != nil {
+			return nil, fmt.Errorf("evalengine: node %d: %w", j, err)
+		}
+		e.stats.SFPBuilds++
+		if e.sfpCount >= maxSFPEntries {
+			e.sfpByNode = make(map[*platform.Node]map[string]*sfp.Node)
+			e.sfpCount = 0
+			per = nil
+		}
+		if per == nil {
+			per = make(map[string]*sfp.Node)
+			e.sfpByNode[n] = per
+		}
+		per[string(e.keyBuf)] = nd
+		e.sfpCount++
+		anodes[j] = nd
+	}
+	return &sfp.Analysis{Nodes: anodes, Period: e.period}, nil
+}
+
+// RedundancyOpt runs the full hardening/re-execution trade-off of Section
+// 6.3 for the given mapping (or evaluates the problem's FixedLevels when
+// set), memoized per mapping: the tabu search of package mapping revisits
+// mappings constantly, and a revisited mapping costs one cache lookup
+// instead of a full hardening search. The returned Solution is shared and
+// must be treated as immutable.
+func (e *Evaluator) RedundancyOpt(mapping []int) (*redundancy.Solution, error) {
+	e.stats.OptRuns++
+	key := string(appendInts(e.keyBuf[:0], mapping))
+	if sol, ok := e.opts[key]; ok {
+		e.stats.OptHits++
+		return sol, nil
+	}
+	q := e.prob
+	q.Mapping = mapping
+	sol, err := redundancy.RedundancyOptWith(q, func(levels []int) (*redundancy.Solution, error) {
+		return e.Evaluate(mapping, levels)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(e.opts) >= maxOptEntries {
+		e.opts = make(map[string]*redundancy.Solution)
+	}
+	e.opts[key] = sol
+	return sol, nil
+}

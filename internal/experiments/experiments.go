@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/evalengine"
 	"repro/internal/mapping"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
@@ -66,6 +67,14 @@ type Rates map[core.Strategy]float64
 // Acceptance evaluates all three strategies at the given point over the
 // configured application batch and returns the acceptance percentages.
 func Acceptance(cfg Config, pt Point) (Rates, error) {
+	rates, _, err := AcceptanceStats(cfg, pt)
+	return rates, err
+}
+
+// AcceptanceStats is Acceptance plus the per-strategy evaluation-engine
+// counters summed over the batch, for the runtime instrumentation
+// reports.
+func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.Stats, error) {
 	strategies := []core.Strategy{core.MIN, core.MAX, core.OPT}
 	type job struct {
 		seed  int64
@@ -78,10 +87,11 @@ func Acceptance(cfg Config, pt Point) (Rates, error) {
 		}
 	}
 	if len(jobs) == 0 {
-		return nil, fmt.Errorf("experiments: empty batch (Apps=%d, Procs=%v)", cfg.Apps, cfg.Procs)
+		return nil, nil, fmt.Errorf("experiments: empty batch (Apps=%d, Procs=%v)", cfg.Apps, cfg.Procs)
 	}
 
 	counts := make(map[core.Strategy]int)
+	stats := make(map[core.Strategy]evalengine.Stats)
 	var mu sync.Mutex
 	var firstErr error
 	sem := make(chan struct{}, cfg.workers())
@@ -119,23 +129,26 @@ func Acceptance(cfg Config, pt Point) (Rates, error) {
 					mu.Unlock()
 					return
 				}
+				mu.Lock()
 				if res.Feasible {
-					mu.Lock()
 					counts[s]++
-					mu.Unlock()
 				}
+				agg := stats[s]
+				agg.Add(res.EvalStats)
+				stats[s] = agg
+				mu.Unlock()
 			}
 		}(jb)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
 	rates := make(Rates, len(strategies))
 	for _, s := range strategies {
 		rates[s] = 100 * float64(counts[s]) / float64(len(jobs))
 	}
-	return rates, nil
+	return rates, stats, nil
 }
 
 // Sweep evaluates a list of points and returns the rates in order.

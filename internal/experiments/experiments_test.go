@@ -225,11 +225,23 @@ func TestRuntimeStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 1 { // tinyConfig has one process count
-		t.Fatalf("%d rows", len(tab.Rows))
+	// tinyConfig has one process count; one row per strategy.
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 (MIN/MAX/OPT)", len(tab.Rows))
 	}
-	if tab.Rows[0][0] != "20" {
-		t.Errorf("row %v", tab.Rows[0])
+	for i, want := range []string{"MIN", "MAX", "OPT"} {
+		if tab.Rows[i][0] != "20" || tab.Rows[i][1] != want {
+			t.Errorf("row %d = %v, want processes 20 strategy %s", i, tab.Rows[i], want)
+		}
+	}
+	// OPT revisits mappings constantly: the engine must report a non-zero
+	// cache hit rate and schedule builds.
+	opt := tab.Rows[2]
+	if opt[6] == "0.0%" {
+		t.Errorf("OPT cache hit rate = %v, want > 0", opt[6])
+	}
+	if opt[8] == "0" {
+		t.Errorf("OPT schedule builds = %v, want > 0", opt[8])
 	}
 }
 

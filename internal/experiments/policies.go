@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/appmodel"
 	"repro/internal/checkpoint"
+	"repro/internal/evalengine"
 	"repro/internal/mapping"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
@@ -49,7 +50,7 @@ func PolicyComparison(cfg Config, ser float64, chiAlpha float64) (*Table, error)
 				Goal: inst.Goal,
 				Bus:  ttp.NewBus(2, inst.Platform.Bus.SlotLen),
 			}
-			m, err := mapping.GreedyInitial(prob)
+			m, err := mapping.GreedyInitial(evalengine.New(prob))
 			if err != nil {
 				return nil, err
 			}

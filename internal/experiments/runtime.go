@@ -5,54 +5,70 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evalengine"
 	"repro/internal/taskgen"
 )
 
-// RuntimeStudy measures the wall-clock execution time of the OPT design
-// strategy per application size, the counterpart of the paper's reported
-// "between 3 minutes and 60 minutes" on a Pentium 4 (Section 7). The
-// result also reports the architectures explored and redundancy
-// evaluations performed, which dominate the cost.
+// RuntimeStudy measures the wall-clock execution time of the design
+// strategies per application size, the counterpart of the paper's
+// reported "between 3 minutes and 60 minutes" on a Pentium 4 (Section 7).
+// Each MIN/MAX/OPT row also reports the evaluation-engine counters summed
+// over the batch — architectures explored, redundancy evaluations, cache
+// hit rate, schedule builds, SFP analyses built vs reused, and the time
+// spent in the re-execution and scheduling layers — which dominate the
+// cost.
 func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
-	t := NewTable(fmt.Sprintf("OPT runtime (SER=%.0e, HPD=%g%%, %d apps per size)", ser, hpd, cfg.Apps),
-		[]string{"processes", "mean", "max", "mean archs", "mean evals"})
+	t := NewTable(fmt.Sprintf("Strategy runtime (SER=%.0e, HPD=%g%%, %d apps per size)", ser, hpd, cfg.Apps),
+		[]string{"processes", "strategy", "mean", "max", "mean archs", "mean evals",
+			"cache hit", "opt hit", "sched builds", "sfp built/reused", "reexec", "sched"})
 	for _, n := range cfg.Procs {
-		var total, max time.Duration
-		var archs, evals, runs int
-		for i := 0; i < cfg.Apps; i++ {
-			seed := cfg.Seed + int64(i) + int64(n)*1000003
-			inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, n, ser, hpd))
-			if err != nil {
-				return nil, err
+		for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
+			var total, max time.Duration
+			var archs, evals, runs int
+			var agg evalengine.Stats
+			for i := 0; i < cfg.Apps; i++ {
+				seed := cfg.Seed + int64(i) + int64(n)*1000003
+				inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, n, ser, hpd))
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				res, err := core.Run(inst.App, inst.Platform, core.Options{
+					Goal:          inst.Goal,
+					Strategy:      s,
+					MappingParams: cfg.MappingParams,
+				})
+				if err != nil {
+					return nil, err
+				}
+				elapsed := time.Since(start)
+				total += elapsed
+				if elapsed > max {
+					max = elapsed
+				}
+				archs += res.ArchsExplored
+				evals += res.Evaluations
+				agg.Add(res.EvalStats)
+				runs++
 			}
-			start := time.Now()
-			res, err := core.Run(inst.App, inst.Platform, core.Options{
-				Goal:          inst.Goal,
-				Strategy:      core.OPT,
-				MappingParams: cfg.MappingParams,
+			if runs == 0 {
+				continue
+			}
+			t.AddRow([]string{
+				fmt.Sprint(n),
+				s.String(),
+				(total / time.Duration(runs)).Round(time.Millisecond).String(),
+				max.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.1f", float64(archs)/float64(runs)),
+				fmt.Sprintf("%.0f", float64(evals)/float64(runs)),
+				fmt.Sprintf("%.1f%%", agg.HitRate()*100),
+				fmt.Sprintf("%.1f%%", agg.OptHitRate()*100),
+				fmt.Sprint(agg.ScheduleBuilds),
+				fmt.Sprintf("%d/%d", agg.SFPBuilds, agg.SFPHits),
+				agg.ReExecTime.Round(time.Millisecond).String(),
+				agg.SchedTime.Round(time.Millisecond).String(),
 			})
-			if err != nil {
-				return nil, err
-			}
-			elapsed := time.Since(start)
-			total += elapsed
-			if elapsed > max {
-				max = elapsed
-			}
-			archs += res.ArchsExplored
-			evals += res.Evaluations
-			runs++
 		}
-		if runs == 0 {
-			continue
-		}
-		t.AddRow([]string{
-			fmt.Sprint(n),
-			(total / time.Duration(runs)).Round(time.Millisecond).String(),
-			max.Round(time.Millisecond).String(),
-			fmt.Sprintf("%.1f", float64(archs)/float64(runs)),
-			fmt.Sprintf("%.0f", float64(evals)/float64(runs)),
-		})
 	}
 	return t, nil
 }

@@ -7,10 +7,12 @@
 // the best available non-tabu move (diversification, even when worse than
 // the current solution).
 //
-// Every candidate mapping is evaluated through redundancy.RedundancyOpt,
-// which settles the hardening levels and re-execution counts for that
-// mapping — "the change of the mapping immediately triggers the change of
-// the hardening levels" (Section 6.1).
+// Every candidate mapping is evaluated through the shared evaluation
+// engine (evalengine.Evaluator.RedundancyOpt), which settles the hardening
+// levels and re-execution counts for that mapping — "the change of the
+// mapping immediately triggers the change of the hardening levels"
+// (Section 6.1) — and memoizes revisited mappings, which tabu search
+// produces constantly.
 //
 // Two cost functions are supported, as required by the design strategy of
 // Fig. 5: ScheduleLength produces the shortest-possible worst-case
@@ -23,6 +25,7 @@ import (
 	"math"
 
 	"repro/internal/appmodel"
+	"repro/internal/evalengine"
 	"repro/internal/redundancy"
 )
 
@@ -113,13 +116,15 @@ func lessObj(a, b [3]float64) bool {
 	return false
 }
 
-// Optimize runs the tabu search. The problem's Mapping field is ignored;
-// initial provides the starting mapping (nil lets the heuristic construct
-// a greedy one). The returned solution may be infeasible if no feasible
-// mapping was found — the caller (DesignStrategy) then grows the
-// architecture.
-func Optimize(p redundancy.Problem, initial []int, cf CostFunction, params Params) (*Result, error) {
+// Optimize runs the tabu search through the given evaluation engine,
+// whose bound problem supplies the application, architecture and goal
+// (the problem's Mapping field is ignored). initial provides the starting
+// mapping (nil lets the heuristic construct a greedy one). The returned
+// solution may be infeasible if no feasible mapping was found — the
+// caller (DesignStrategy) then grows the architecture.
+func Optimize(ev *evalengine.Evaluator, initial []int, cf CostFunction, params Params) (*Result, error) {
 	params = params.withDefaults()
+	p := ev.Problem()
 	n := p.App.NumProcesses()
 	numNodes := len(p.Arch.Nodes)
 	if numNodes == 0 {
@@ -139,7 +144,7 @@ func Optimize(p redundancy.Problem, initial []int, cf CostFunction, params Param
 		}
 	} else {
 		var err error
-		cur, err = GreedyInitial(p)
+		cur, err = GreedyInitial(ev)
 		if err != nil {
 			return nil, err
 		}
@@ -148,11 +153,10 @@ func Optimize(p redundancy.Problem, initial []int, cf CostFunction, params Param
 	evals := 0
 	evaluate := func(m []int) (*redundancy.Solution, error) {
 		evals++
-		q := p
-		q.Mapping = m
-		return redundancy.RedundancyOpt(q)
+		return ev.RedundancyOpt(m)
 	}
 
+	pred := p.App.Predecessors()
 	curSol, err := evaluate(cur)
 	if err != nil {
 		return nil, err
@@ -168,7 +172,7 @@ func Optimize(p redundancy.Problem, initial []int, cf CostFunction, params Param
 		if numNodes == 1 {
 			break // nothing to move
 		}
-		cands := criticalPath(p.App, cur, curSol)
+		cands := criticalPath(pred, cur, curSol)
 		type move struct {
 			pid  appmodel.ProcID
 			node int
@@ -252,8 +256,9 @@ func Optimize(p redundancy.Problem, initial []int, cf CostFunction, params Param
 // worst-case schedule length: starting from the process with the largest
 // worst-case finish, it walks backwards through whichever dependency
 // (same-node predecessor in the schedule or incoming message) fixed each
-// process's start time.
-func criticalPath(app *appmodel.Application, mapping []int, sol *redundancy.Solution) []appmodel.ProcID {
+// process's start time. pred is the application's predecessor adjacency,
+// hoisted to the caller so the per-iteration walk does not rebuild it.
+func criticalPath(pred [][]appmodel.Edge, mapping []int, sol *redundancy.Solution) []appmodel.ProcID {
 	s := sol.Schedule
 	n := len(s.Start)
 	if n == 0 {
@@ -269,7 +274,6 @@ func criticalPath(app *appmodel.Application, mapping []int, sol *redundancy.Solu
 			prevOnNode[order[i]] = int(order[i-1])
 		}
 	}
-	pred := app.Predecessors()
 	// Start from the worst finisher.
 	cur := 0
 	for pid := 1; pid < n; pid++ {
@@ -308,10 +312,12 @@ func criticalPath(app *appmodel.Application, mapping []int, sol *redundancy.Solu
 	return path
 }
 
-// GreedyInitial constructs a deterministic initial mapping: processes are
-// taken in topological order and each is placed on the node that yields
-// the earliest estimated finish at minimum hardening (a HEFT-style seed).
-func GreedyInitial(p redundancy.Problem) ([]int, error) {
+// GreedyInitial constructs a deterministic initial mapping for the
+// evaluator's bound problem: processes are taken in topological order and
+// each is placed on the node that yields the earliest estimated finish at
+// minimum hardening (a HEFT-style seed).
+func GreedyInitial(ev *evalengine.Evaluator) ([]int, error) {
+	p := ev.Problem()
 	app := p.App
 	order, err := app.TopoOrder()
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/appmodel"
+	"repro/internal/evalengine"
 	"repro/internal/paper"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
@@ -31,7 +32,7 @@ func fig1Problem() redundancy.Problem {
 // hardening/re-execution trade the paper advocates.
 func TestOptimizeFindsFig4aCostOrBetter(t *testing.T) {
 	p := fig1Problem()
-	res, err := Optimize(p, nil, ArchitectureCost, Params{})
+	res, err := Optimize(evalengine.New(p), nil, ArchitectureCost, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestOptimizeFindsFig4aCostOrBetter(t *testing.T) {
 // feasible schedule within the deadline.
 func TestOptimizeScheduleLength(t *testing.T) {
 	p := fig1Problem()
-	res, err := Optimize(p, nil, ScheduleLength, Params{})
+	res, err := Optimize(evalengine.New(p), nil, ScheduleLength, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestOptimizeMonoprocessor(t *testing.T) {
 		Goal: sfp.Goal{Gamma: paper.Fig1Gamma, Tau: paper.Hour},
 		Bus:  ttp.NewBus(1, pl.Bus.SlotLen),
 	}
-	res, err := Optimize(p, nil, ArchitectureCost, Params{})
+	res, err := Optimize(evalengine.New(p), nil, ArchitectureCost, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,14 +93,14 @@ func TestOptimizeMonoprocessor(t *testing.T) {
 
 func TestOptimizeInitialValidation(t *testing.T) {
 	p := fig1Problem()
-	if _, err := Optimize(p, []int{0}, ScheduleLength, Params{}); err == nil {
+	if _, err := Optimize(evalengine.New(p), []int{0}, ScheduleLength, Params{}); err == nil {
 		t.Error("want error for short initial mapping")
 	}
-	if _, err := Optimize(p, []int{0, 0, 0, 9}, ScheduleLength, Params{}); err == nil {
+	if _, err := Optimize(evalengine.New(p), []int{0, 0, 0, 9}, ScheduleLength, Params{}); err == nil {
 		t.Error("want error for out-of-range initial mapping")
 	}
 	p.Arch = &platform.Architecture{}
-	if _, err := Optimize(p, nil, ScheduleLength, Params{}); err == nil {
+	if _, err := Optimize(evalengine.New(p), nil, ScheduleLength, Params{}); err == nil {
 		t.Error("want error for empty architecture")
 	}
 }
@@ -109,7 +110,7 @@ func TestOptimizeInitialValidation(t *testing.T) {
 func TestOptimizeRespectsInitial(t *testing.T) {
 	p := fig1Problem()
 	initial := []int{0, 0, 1, 1} // Fig. 4a split
-	res, err := Optimize(p, initial, ArchitectureCost, Params{MaxIterations: 1, MaxNoImprove: 1})
+	res, err := Optimize(evalengine.New(p), initial, ArchitectureCost, Params{MaxIterations: 1, MaxNoImprove: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestOptimizeRespectsInitial(t *testing.T) {
 
 func TestGreedyInitialValid(t *testing.T) {
 	p := fig1Problem()
-	m, err := GreedyInitial(p)
+	m, err := GreedyInitial(evalengine.New(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestCriticalPathStartsAtWorstFinisher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := criticalPath(p.App, q.Mapping, sol)
+	path := criticalPath(p.App.Predecessors(), q.Mapping, sol)
 	if len(path) == 0 {
 		t.Fatal("empty critical path")
 	}
@@ -177,7 +178,7 @@ func TestCriticalPathStartsAtWorstFinisher(t *testing.T) {
 // a feasible mapping.
 func TestOptimizeImprovesBadInitial(t *testing.T) {
 	p := fig1Problem()
-	res, err := Optimize(p, []int{0, 0, 0, 0}, ScheduleLength, Params{})
+	res, err := Optimize(evalengine.New(p), []int{0, 0, 0, 0}, ScheduleLength, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestOptimizeTwoGraphApplication(t *testing.T) {
 		Goal: sfp.Goal{Gamma: 1e-5, Tau: paper.Hour},
 		Bus:  ttp.NewBus(2, pl.Bus.SlotLen),
 	}
-	res, err := Optimize(p, nil, ScheduleLength, Params{})
+	res, err := Optimize(evalengine.New(p), nil, ScheduleLength, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

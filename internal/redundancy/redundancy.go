@@ -103,9 +103,6 @@ func nodeProbs(app *appmodel.Application, ar *platform.Architecture, mapping []i
 // saturated at maxK re-executions (the caller then typically raises a
 // hardening level instead).
 func ReExecutionOpt(app *appmodel.Application, ar *platform.Architecture, mapping []int, levels []int, goal sfp.Goal, maxK int) ([]int, bool, error) {
-	if err := goal.Validate(); err != nil {
-		return nil, false, err
-	}
 	probs, err := nodeProbs(app, ar, mapping, levels)
 	if err != nil {
 		return nil, false, err
@@ -114,11 +111,22 @@ func ReExecutionOpt(app *appmodel.Application, ar *platform.Architecture, mappin
 	if err != nil {
 		return nil, false, err
 	}
-	ks := make([]int, len(ar.Nodes))
+	return ReExecutionOptAnalysis(analysis, goal, maxK)
+}
+
+// ReExecutionOptAnalysis is ReExecutionOpt on a prebuilt SFP analysis. It
+// lets callers that cache the per-node analyses (package evalengine) skip
+// the combinatorial setup of sfp.NewAnalysis while running the exact same
+// greedy k-assignment.
+func ReExecutionOptAnalysis(analysis *sfp.Analysis, goal sfp.Goal, maxK int) ([]int, bool, error) {
+	if err := goal.Validate(); err != nil {
+		return nil, false, err
+	}
+	ks := make([]int, len(analysis.Nodes))
 	if analysis.MeetsGoal(ks, goal) {
 		return ks, true, nil
 	}
-	fails := make([]float64, len(ar.Nodes))
+	fails := make([]float64, len(analysis.Nodes))
 	for j, n := range analysis.Nodes {
 		fails[j] = n.FailureProb(0)
 	}
@@ -186,6 +194,11 @@ func Evaluate(p Problem, levels []int) (*Solution, error) {
 	}, nil
 }
 
+// EvalFunc evaluates one hardening vector for a fixed problem and
+// mapping. The levels slice is owned by the caller and mutated between
+// calls; implementations must copy whatever they retain.
+type EvalFunc func(levels []int) (*Solution, error)
+
 // RedundancyOpt runs the full hardening/re-execution trade-off of Section
 // 6.3 for the problem's mapping. It returns the cheapest feasible solution
 // found, or the last evaluated (infeasible) solution with Feasible() ==
@@ -198,17 +211,26 @@ func Evaluate(p Problem, levels []int) (*Solution, error) {
 // feasibility is preserved, always keeping the cheapest feasible
 // alternative.
 func RedundancyOpt(p Problem) (*Solution, error) {
+	return RedundancyOptWith(p, func(levels []int) (*Solution, error) {
+		return Evaluate(p, levels)
+	})
+}
+
+// RedundancyOptWith is RedundancyOpt with the per-vector evaluation
+// pluggable, so a memoizing evaluator (package evalengine) can intercept
+// every probe. The search logic is identical to RedundancyOpt.
+func RedundancyOptWith(p Problem, eval EvalFunc) (*Solution, error) {
 	if p.FixedLevels != nil {
 		if len(p.FixedLevels) != len(p.Arch.Nodes) {
 			return nil, fmt.Errorf("redundancy: fixed levels cover %d of %d nodes", len(p.FixedLevels), len(p.Arch.Nodes))
 		}
-		return Evaluate(p, p.FixedLevels)
+		return eval(p.FixedLevels)
 	}
 	levels := make([]int, len(p.Arch.Nodes))
 	for j, n := range p.Arch.Nodes {
 		levels[j] = n.MinLevel()
 	}
-	cur, err := Evaluate(p, levels)
+	cur, err := eval(levels)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +243,7 @@ func RedundancyOpt(p Problem) (*Solution, error) {
 				continue
 			}
 			levels[j]++
-			cand, err := Evaluate(p, levels)
+			cand, err := eval(levels)
 			levels[j]--
 			if err != nil {
 				return nil, err
@@ -246,7 +268,7 @@ func RedundancyOpt(p Problem) (*Solution, error) {
 				continue
 			}
 			levels[j]--
-			cand, err := Evaluate(p, levels)
+			cand, err := eval(levels)
 			levels[j]++
 			if err != nil {
 				return nil, err

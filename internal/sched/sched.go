@@ -174,15 +174,93 @@ func (in *Input) Validate() error {
 	return nil
 }
 
+// Workspace caches per-application adjacency (predecessors, successors,
+// topological order, graph index) and reuses the scheduler's scratch
+// buffers across Build calls, so evaluation-heavy callers (package
+// evalengine) stop paying the per-build allocation cost. The zero value is
+// ready to use. A Workspace is bound to one application at a time and
+// assumes the application is not mutated while bound; it is not safe for
+// concurrent use.
+type Workspace struct {
+	app  *appmodel.Application
+	pred [][]appmodel.Edge
+	succ [][]appmodel.Edge
+	topo []appmodel.ProcID
+	gi   []int
+
+	wcet, prio, arrival, nodeAvail, maxRec []float64
+	unscheduled                            []int
+	ready                                  []appmodel.ProcID
+	absDeadline                            []float64
+}
+
+// bind points the workspace at app, recomputing the cached adjacency when
+// the application changed since the last call.
+func (ws *Workspace) bind(app *appmodel.Application) error {
+	if ws.app == app {
+		return nil
+	}
+	topo, err := app.TopoOrder()
+	if err != nil {
+		return err
+	}
+	ws.app = app
+	ws.topo = topo
+	ws.pred = app.Predecessors()
+	ws.succ = app.Successors()
+	ws.gi = app.GraphOf()
+	return nil
+}
+
+// Schedulable is Schedule.Schedulable against the workspace's bound
+// application, using the cached graph index.
+func (ws *Workspace) Schedulable(s *Schedule) bool {
+	for pid := range s.WorstFinish {
+		if s.WorstFinish[pid] > ws.app.Graphs[ws.gi[pid]].Deadline+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// floats returns buf resized to n elements, all zero, growing the backing
+// array only when needed.
+func floats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	*buf = s
+	return s
+}
+
 // Build runs the list scheduler and returns the schedule. The application
 // and architecture are not modified.
 func Build(in Input) (*Schedule, error) {
+	return BuildInto(in, nil)
+}
+
+// BuildInto is Build with reusable scratch buffers: a non-nil Workspace
+// amortizes the adjacency computation and the scheduler's temporary
+// allocations across calls. The returned Schedule is always freshly
+// allocated and independent of the workspace. BuildInto(in, nil) is
+// exactly Build(in).
+func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	app := in.App
+	if err := ws.bind(app); err != nil {
+		return nil, err
+	}
 	n := app.NumProcesses()
-	wcet := make([]float64, n) // t_ijh of each process on its mapped node
+	wcet := floats(&ws.wcet, n) // t_ijh of each process on its mapped node
 	for pid := 0; pid < n; pid++ {
 		wcet[pid] = in.Arch.Version(in.Mapping[pid]).WCET[pid]
 		if in.ExtraExec != nil {
@@ -191,19 +269,23 @@ func Build(in Input) (*Schedule, error) {
 	}
 	// Partial-critical-path priorities: longest remaining chain where
 	// processes weigh their mapped WCET and cross-node edges weigh one
-	// bus slot.
+	// bus slot. Same recurrence as appmodel.CriticalPathLengths, run over
+	// the cached topological order and successor lists.
 	slotEst := busSlotEstimate(in)
-	prio, err := app.CriticalPathLengths(
-		func(p appmodel.ProcID) float64 { return wcet[p] },
-		func(e appmodel.Edge) float64 {
+	prio := floats(&ws.prio, n)
+	for i := len(ws.topo) - 1; i >= 0; i-- {
+		p := ws.topo[i]
+		best := 0.0
+		for _, e := range ws.succ[p] {
+			w := 0.0
 			if in.Mapping[e.Src] != in.Mapping[e.Dst] {
-				return slotEst
+				w = slotEst
 			}
-			return 0
-		},
-	)
-	if err != nil {
-		return nil, err
+			if v := w + prio[e.Dst]; v > best {
+				best = v
+			}
+		}
+		prio[p] = wcet[p] + best
 	}
 
 	bus := in.Bus
@@ -220,47 +302,54 @@ func Build(in Input) (*Schedule, error) {
 		NodeOrder:   make([][]appmodel.ProcID, len(in.Arch.Nodes)),
 	}
 
-	pred := app.Predecessors()
-	succ := app.Successors()
-	unscheduled := make([]int, n) // remaining predecessor count
+	pred := ws.pred
+	succ := ws.succ
+	if cap(ws.unscheduled) < n {
+		ws.unscheduled = make([]int, n)
+	}
+	unscheduled := ws.unscheduled[:n] // remaining predecessor count
 	for pid := 0; pid < n; pid++ {
 		unscheduled[pid] = len(pred[pid])
 	}
-	ready := make([]appmodel.ProcID, 0, n)
+	// ready is a queue over ws.ready[head:]; processes enter when their
+	// last predecessor is scheduled and the best entry is popped each
+	// iteration.
+	ready := ws.ready[:0]
+	head := 0
 	for pid := 0; pid < n; pid++ {
 		if unscheduled[pid] == 0 {
 			ready = append(ready, appmodel.ProcID(pid))
 		}
 	}
 
-	nodeAvail := make([]float64, len(in.Arch.Nodes))
+	nodeAvail := floats(&ws.nodeAvail, len(in.Arch.Nodes))
 	// maxRec[j] is the running max of (t + μ) over the processes already
 	// scheduled on node j (the shared slack quantum).
-	maxRec := make([]float64, len(in.Arch.Nodes))
+	maxRec := floats(&ws.maxRec, len(in.Arch.Nodes))
 	// arrival[pid] is the time all inputs of pid are available at its
 	// node (fault-free in the shared model; worst-case in the
 	// per-process model).
-	arrival := make([]float64, n)
+	arrival := floats(&ws.arrival, n)
 
 	// Absolute deadlines, used by the EDF tie-break in release mode.
 	var absDeadline []float64
 	if in.Release != nil {
-		gi := app.GraphOf()
-		absDeadline = make([]float64, n)
+		absDeadline = floats(&ws.absDeadline, n)
 		for pid := 0; pid < n; pid++ {
-			absDeadline[pid] = app.Graphs[gi[pid]].Deadline
+			absDeadline[pid] = app.Graphs[ws.gi[pid]].Deadline
 		}
 	}
 
 	scheduled := 0
-	for len(ready) > 0 {
+	for head < len(ready) {
+		pending := ready[head:]
 		if in.Release == nil {
 			// Highest priority first; ties by ID for determinism.
-			sort.Slice(ready, func(a, b int) bool {
-				if prio[ready[a]] != prio[ready[b]] {
-					return prio[ready[a]] > prio[ready[b]]
+			sort.Slice(pending, func(a, b int) bool {
+				if prio[pending[a]] != prio[pending[b]] {
+					return prio[pending[a]] > prio[pending[b]]
 				}
-				return ready[a] < ready[b]
+				return pending[a] < pending[b]
 			})
 		} else {
 			// With release times, committing a high-priority but
@@ -276,23 +365,23 @@ func Build(in Input) (*Schedule, error) {
 				}
 				return e
 			}
-			sort.Slice(ready, func(a, b int) bool {
-				ea, eb := est(ready[a]), est(ready[b])
+			sort.Slice(pending, func(a, b int) bool {
+				ea, eb := est(pending[a]), est(pending[b])
 				if ea != eb {
 					return ea < eb
 				}
-				da, db := absDeadline[ready[a]], absDeadline[ready[b]]
+				da, db := absDeadline[pending[a]], absDeadline[pending[b]]
 				if da != db {
 					return da < db
 				}
-				if prio[ready[a]] != prio[ready[b]] {
-					return prio[ready[a]] > prio[ready[b]]
+				if prio[pending[a]] != prio[pending[b]] {
+					return prio[pending[a]] > prio[pending[b]]
 				}
-				return ready[a] < ready[b]
+				return pending[a] < pending[b]
 			})
 		}
-		pid := ready[0]
-		ready = ready[1:]
+		pid := ready[head]
+		head++
 		j := in.Mapping[pid]
 
 		start := math.Max(arrival[pid], nodeAvail[j])
@@ -357,6 +446,7 @@ func Build(in Input) (*Schedule, error) {
 		}
 		scheduled++
 	}
+	ws.ready = ready[:0]
 	if scheduled != n {
 		return nil, fmt.Errorf("sched: scheduled %d of %d processes (cycle?)", scheduled, n)
 	}
