@@ -9,6 +9,7 @@
 //	paperbench -fig 6b -apps 150  # full paper scale (slow)
 //	paperbench -fig cc -md        # Markdown tables
 //	paperbench -fig 6a -cpuprofile cpu.pprof  # profile the run
+//	paperbench -fig cc -run-workers 4         # parallelize inside each run
 //
 // Figures: 6a–6d (the paper's acceptance sweeps), cc (cruise controller),
 // policies (re-execution vs checkpointing vs replication), simulation
@@ -51,7 +52,8 @@ func run(args []string, w io.Writer) error {
 	apps := fs.Int("apps", 10, "applications per process count (paper: 150)")
 	procs := fs.String("procs", "20,40", "comma-separated process counts")
 	seed := fs.Int64("seed", 1, "base seed")
-	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	workers := fs.Int("workers", 0, "parallel workers across applications (0 = all cores)")
+	runWorkers := fs.Int("run-workers", 0, "parallel workers inside each design run (0 or 1 = sequential; results are identical either way)")
 	md := fs.Bool("md", false, "render tables as Markdown instead of ASCII")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the selected figures to this file")
@@ -85,7 +87,7 @@ func run(args []string, w io.Writer) error {
 		}()
 	}
 
-	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers, RunWorkers: *runWorkers}
 	for _, tok := range splitInts(*procs) {
 		cfg.Procs = append(cfg.Procs, tok)
 	}
@@ -117,7 +119,7 @@ func run(args []string, w io.Writer) error {
 		"6b": {"Fig. 6b", table(experiments.Fig6b)},
 		"6c": {"Fig. 6c", table(experiments.Fig6c)},
 		"6d": {"Fig. 6d", table(experiments.Fig6d)},
-		"cc": {"Cruise controller", func() error { return runCC(w, render) }},
+		"cc": {"Cruise controller", func() error { return runCC(w, render, *runWorkers) }},
 		"runtime": {"Strategy runtime", func() error {
 			t, err := experiments.RuntimeStudy(cfg, 1e-11, 25)
 			if err != nil {
@@ -196,7 +198,7 @@ func run(args []string, w io.Writer) error {
 }
 
 // runCC reproduces the cruise-controller case study.
-func runCC(w io.Writer, render func(*experiments.Table) error) error {
+func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int) error {
 	inst, err := cc.Instance()
 	if err != nil {
 		return err
@@ -210,7 +212,7 @@ func runCC(w io.Writer, render func(*experiments.Table) error) error {
 	}
 	var lines []strategyStats
 	for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
-		res, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: s})
+		res, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: s, Workers: runWorkers})
 		if err != nil {
 			return err
 		}

@@ -67,12 +67,20 @@ func TestProfileFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, path := range []string{cpu, mem} {
-		fi, err := os.Stat(path)
+		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if fi.Size() == 0 {
+		if len(data) == 0 {
 			t.Errorf("%s is empty", path)
+			continue
+		}
+		// pprof profiles are gzip-compressed protobufs; checking the gzip
+		// magic catches a truncated or never-finalized write. The heap
+		// profile is taken after runtime.GC(), so it reflects retained
+		// memory rather than not-yet-collected garbage.
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s does not start with the gzip magic (got % x)", path, data[:min(2, len(data))])
 		}
 	}
 	// The runtime figure reports the evaluation-engine counters.
@@ -81,6 +89,39 @@ func TestProfileFlags(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunWorkersFlag: -run-workers parallelizes inside each design run
+// and must not change the reported tables.
+func TestRunWorkersFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs design strategies twice")
+	}
+	var seq, par strings.Builder
+	if err := run([]string{"-fig", "cc"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "cc", "-run-workers", "3"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the engine-counter and timing lines (parallel runs report
+	// speculative work and wall time differently); the tables and the
+	// cost-improvement line must be identical.
+	keep := func(s string) string {
+		var sb strings.Builder
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "evaluator:") || strings.Contains(line, "regenerated in") {
+				continue
+			}
+			sb.WriteString(line)
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	if keep(seq.String()) != keep(par.String()) {
+		t.Errorf("-run-workers changed the output:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.String(), par.String())
 	}
 }
 

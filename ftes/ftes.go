@@ -200,6 +200,9 @@ type (
 	// mapping and design-strategy layers. One Evaluator serves one
 	// goroutine.
 	Evaluator = evalengine.Evaluator
+	// ConcurrentEvaluator is the multi-goroutine evaluation engine: N
+	// worker Evaluators over shared caches.
+	ConcurrentEvaluator = evalengine.Concurrent
 	// EvaluatorStats are the engine's instrumentation counters.
 	EvaluatorStats = evalengine.Stats
 )
@@ -220,6 +223,19 @@ func OptimizeMapping(p RedundancyProblem, initial []int, cf MappingCostFunction,
 // the given evaluation engine, reusing whatever its caches already hold.
 func OptimizeMappingWith(ev *Evaluator, initial []int, cf MappingCostFunction, params MappingParams) (*MappingResult, error) {
 	return mapping.Optimize(ev, initial, cf, params)
+}
+
+// NewConcurrentEvaluator returns an evaluation engine with the given
+// number of workers bound to p; workers ≤ 1 behaves like NewEvaluator.
+func NewConcurrentEvaluator(p RedundancyProblem, workers int) *ConcurrentEvaluator {
+	return evalengine.NewConcurrent(p, workers)
+}
+
+// OptimizeMappingConcurrent runs the tabu-search mapping optimization
+// with the neighborhood evaluated on the engine's workers. The result is
+// identical to the sequential OptimizeMappingWith on the same problem.
+func OptimizeMappingConcurrent(ce *ConcurrentEvaluator, initial []int, cf MappingCostFunction, params MappingParams) (*MappingResult, error) {
+	return mapping.OptimizeConcurrent(ce, initial, cf, params)
 }
 
 // Design strategy (Fig. 5).

@@ -72,6 +72,13 @@ type Options struct {
 	// above it. It corresponds to the maximum architectural cost ArC of
 	// the experimental evaluation.
 	MaxCost float64
+	// Workers, when > 1, spreads the run over that many goroutines:
+	// candidate architectures of a size class are probed concurrently and
+	// the tabu neighborhoods inside each probe are evaluated by a worker
+	// pool. The result is identical to the sequential path — candidates
+	// are selected by a deterministic replay in enumeration order
+	// (TestParallelMatchesSequential). 0 or 1 means sequential.
+	Workers int
 }
 
 // Result is the outcome of a design run.
@@ -119,7 +126,16 @@ func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Resul
 	if err := opts.Goal.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Workers > 1 {
+		return runParallel(app, pl, opts)
+	}
+	return runSequential(app, pl, opts)
+}
 
+// runSequential is the reference single-goroutine exploration; the
+// parallel path (parallel.go) replays candidate selection in this exact
+// order.
+func runSequential(app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
 	enum := platform.NewEnumerator(pl)
 	res := &Result{}
 	// One evaluation engine is shared across the whole architecture loop:

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/paper"
+	"repro/internal/platform"
+	"repro/internal/sfp"
+	"repro/internal/taskgen"
+)
+
+// assertSameRunResult fails unless the two design-run results agree on
+// everything the sequential/parallel equality guarantee covers: outcome,
+// selected architecture and hardening, mapping, re-execution counts,
+// schedule length (bit-exact), cost (bit-exact), and the replay-visible
+// counters.
+func assertSameRunResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Feasible != want.Feasible {
+		t.Fatalf("%s: feasible %v, want %v", label, got.Feasible, want.Feasible)
+	}
+	if got.ArchsExplored != want.ArchsExplored {
+		t.Errorf("%s: archs explored %d, want %d", label, got.ArchsExplored, want.ArchsExplored)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Errorf("%s: evaluations %d, want %d", label, got.Evaluations, want.Evaluations)
+	}
+	if !want.Feasible {
+		return
+	}
+	if math.Float64bits(got.Cost) != math.Float64bits(want.Cost) {
+		t.Errorf("%s: cost %v, want %v", label, got.Cost, want.Cost)
+	}
+	if math.Float64bits(got.Schedule.Length) != math.Float64bits(want.Schedule.Length) {
+		t.Errorf("%s: SL %v, want %v", label, got.Schedule.Length, want.Schedule.Length)
+	}
+	if len(got.Arch.Nodes) != len(want.Arch.Nodes) {
+		t.Fatalf("%s: arch sizes %d vs %d", label, len(got.Arch.Nodes), len(want.Arch.Nodes))
+	}
+	for j := range want.Arch.Nodes {
+		if got.Arch.Nodes[j] != want.Arch.Nodes[j] {
+			t.Errorf("%s: arch node %d differs", label, j)
+		}
+		if got.Arch.Levels[j] != want.Arch.Levels[j] {
+			t.Errorf("%s: levels %v, want %v", label, got.Arch.Levels, want.Arch.Levels)
+			break
+		}
+	}
+	for i := range want.Mapping {
+		if got.Mapping[i] != want.Mapping[i] {
+			t.Errorf("%s: mapping %v, want %v", label, got.Mapping, want.Mapping)
+			break
+		}
+	}
+	for j := range want.Ks {
+		if got.Ks[j] != want.Ks[j] {
+			t.Errorf("%s: ks %v, want %v", label, got.Ks, want.Ks)
+			break
+		}
+	}
+}
+
+// TestParallelMatchesSequential proves a parallel core.Run returns the
+// identical design — architecture, hardening vector, mapping, schedule
+// length, cost — and the identical exploration counters as the
+// sequential path, on the paper's Fig. 1/Fig. 3 examples and seeded
+// synthetic applications, across all three strategies.
+func TestParallelMatchesSequential(t *testing.T) {
+	type tc struct {
+		label string
+		app   *appmodel.Application
+		pl    *platform.Platform
+		goal  sfp.Goal
+	}
+	cases := []tc{
+		{"fig1", paper.Fig1Application(), paper.Fig1Platform(), sfp.Goal{Gamma: paper.Fig1Gamma, Tau: paper.Hour}},
+		{"fig3", paper.Fig3Application(), paper.Fig3Platform(), sfp.Goal{Gamma: paper.Fig3Gamma, Tau: paper.Hour}},
+	}
+	for i := 0; i < 3; i++ {
+		n := 10 + 5*i
+		inst, err := taskgen.Generate(taskgen.DefaultConfig(int64(300+i), n, 1e-11, 25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, tc{fmt.Sprintf("synthetic-%d", n), inst.App, inst.Platform, inst.Goal})
+	}
+
+	for _, c := range cases {
+		for _, s := range []Strategy{MIN, MAX, OPT} {
+			want, err := Run(c.app, c.pl, Options{Goal: c.goal, Strategy: s})
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", c.label, s, err)
+			}
+			for _, workers := range []int{2, 4} {
+				got, err := Run(c.app, c.pl, Options{Goal: c.goal, Strategy: s, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", c.label, s, workers, err)
+				}
+				assertSameRunResult(t, fmt.Sprintf("%s/%s workers=%d", c.label, s, workers), got, want)
+			}
+		}
+	}
+}
+
+// TestParallelMaxCostPruning: the parallel replay applies the MaxCost
+// bound and the evolving best-cost prune identically to the sequential
+// path.
+func TestParallelMaxCostPruning(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	for _, maxCost := range []float64{20, 52, 72, 200} {
+		opts := fig1Opts(OPT)
+		opts.MaxCost = maxCost
+		want, err := Run(app, pl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 4
+		got, err := Run(app, pl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRunResult(t, fmt.Sprintf("maxcost=%v", maxCost), got, want)
+	}
+}
+
+// TestParallelDeterministic: repeated parallel runs are identical to each
+// other (no schedule-dependent nondeterminism leaks into the result).
+func TestParallelDeterministic(t *testing.T) {
+	app := paper.Fig1Application()
+	pl := paper.Fig1Platform()
+	opts := fig1Opts(OPT)
+	opts.Workers = 3
+	first, err := Run(app, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(app, pl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRunResult(t, fmt.Sprintf("repeat-%d", i), again, first)
+	}
+}

@@ -1,0 +1,169 @@
+package evalengine
+
+import (
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/redundancy"
+	"repro/internal/sfp"
+)
+
+// The caches are sharded so that workers of a Concurrent engine mostly
+// lock disjoint shards. 16 shards keeps contention negligible at the
+// worker counts that make sense here (≤ GOMAXPROCS) while costing nothing
+// when a single goroutine owns the engine.
+const nShards = 16
+
+// shardOf hashes the key bytes with FNV-1a and folds the hash onto a
+// shard index. Keys are the fixed-width encodings built by appendInts, so
+// the hash is cheap and well distributed.
+func shardOf(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % nShards)
+}
+
+// solCache is a sharded string → Solution memoization cache. Concurrent
+// same-key computations are benign: both workers derive the identical
+// Solution from the same inputs, and last-put-wins keeps either.
+type solCache struct {
+	shards   [nShards]solShard
+	shardCap int // per-shard entry backstop; whole shard dropped at cap
+}
+
+type solShard struct {
+	mu sync.RWMutex
+	m  map[string]*redundancy.Solution
+}
+
+func newSolCache(totalCap int) *solCache {
+	c := &solCache{shardCap: totalCap / nShards}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*redundancy.Solution)
+	}
+	return c
+}
+
+func (c *solCache) get(key string) (*redundancy.Solution, bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.RLock()
+	sol, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return sol, ok
+}
+
+func (c *solCache) put(key string, sol *redundancy.Solution) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	if len(sh.m) >= c.shardCap {
+		sh.m = make(map[string]*redundancy.Solution)
+	}
+	sh.m[key] = sol
+	sh.mu.Unlock()
+}
+
+func (c *solCache) clear() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[string]*redundancy.Solution)
+		sh.mu.Unlock()
+	}
+}
+
+// SFPCache is the concurrency-safe per-node-type SFP analysis cache:
+// (node type, hardening level, mapped process set) → *sfp.Node. It is the
+// expensive, highly reusable layer of the evaluation pipeline — node
+// types recur across candidate architectures — so core.Run shares one
+// SFPCache across the engines of all concurrently probed architectures
+// (NewConcurrentWith). sfp.Node values are immutable after construction,
+// which is what makes sharing them safe.
+type SFPCache struct {
+	shards [nShards]sfpShard
+}
+
+type sfpShard struct {
+	mu     sync.RWMutex
+	byNode map[*platform.Node]map[string]*sfp.Node
+	count  int
+}
+
+// NewSFPCache returns an empty cache, ready to be shared across engines.
+func NewSFPCache() *SFPCache {
+	c := &SFPCache{}
+	for i := range c.shards {
+		c.shards[i].byNode = make(map[*platform.Node]map[string]*sfp.Node)
+	}
+	return c
+}
+
+// get looks up the analysis for node n under the (level, process set) key
+// without allocating: indexing a map[string] with string(key) compiles to
+// an allocation-free lookup.
+func (c *SFPCache) get(n *platform.Node, key []byte) (*sfp.Node, bool) {
+	sh := &c.shards[shardOf(string(key))]
+	sh.mu.RLock()
+	nd, ok := sh.byNode[n][string(key)]
+	sh.mu.RUnlock()
+	return nd, ok
+}
+
+func (c *SFPCache) put(n *platform.Node, key string, nd *sfp.Node) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	if sh.count >= maxSFPEntries/nShards {
+		sh.byNode = make(map[*platform.Node]map[string]*sfp.Node)
+		sh.count = 0
+	}
+	m := sh.byNode[n]
+	if m == nil {
+		m = make(map[string]*sfp.Node)
+		sh.byNode[n] = m
+	}
+	if _, exists := m[key]; !exists {
+		sh.count++
+	}
+	m[key] = nd
+	sh.mu.Unlock()
+}
+
+func (c *SFPCache) reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.byNode = make(map[*platform.Node]map[string]*sfp.Node)
+		sh.count = 0
+		sh.mu.Unlock()
+	}
+}
+
+// store bundles the caches and counters shared by every Evaluator of one
+// engine: a solo Evaluator owns a private store; a Concurrent engine hands
+// the same store to all its workers.
+type store struct {
+	sols  *solCache // (levels, mapping) → solution
+	opts  *solCache // mapping → RedundancyOpt result
+	sfp   *SFPCache
+	stats atomicStats
+}
+
+func newStore(sfpc *SFPCache) *store {
+	return &store{
+		sols: newSolCache(maxSolutionEntries),
+		opts: newSolCache(maxOptEntries),
+		sfp:  sfpc,
+	}
+}
+
+func (st *store) dropSolutions() {
+	st.sols.clear()
+	st.opts.clear()
+	st.stats.invalidations.Add(1)
+}

@@ -6,7 +6,7 @@
 // The tabu search of package mapping revisits mappings constantly, and
 // RedundancyOpt probes many hardening vectors that differ in a single
 // node, so the same (architecture, hardening vector, mapping) triples are
-// evaluated over and over. The Evaluator owns
+// evaluated over and over. The engine owns
 //
 //   - a memoization cache from (hardening vector, mapping) to the full
 //     redundancy.Solution — the architecture node-set, goal, bus and slack
@@ -28,21 +28,24 @@
 // exact arithmetic of the uncached path (enforced by
 // TestEvaluatorMatchesFresh).
 //
-// An Evaluator is not safe for concurrent use; the experiment harness
-// creates one per design run (core.Run does this internally).
+// An Evaluator is a single-goroutine handle: its scratch buffers (schedule
+// workspace, key buffer, bus) are not safe for concurrent use. The caches
+// behind it are concurrency-safe and shared — NewConcurrent builds an
+// engine with one Evaluator per worker over the same caches, so parallel
+// design-space exploration (package mapping, package core) reuses exactly
+// what the sequential path reuses. See concurrent.go.
 package evalengine
 
 import (
 	"fmt"
 	"time"
 
-	"repro/internal/platform"
 	"repro/internal/redundancy"
 	"repro/internal/sched"
 	"repro/internal/sfp"
 )
 
-// Cache-size backstops: when a cache exceeds its cap it is dropped
+// Cache-size backstops: when a cache shard exceeds its cap it is dropped
 // wholesale (correctness is unaffected — entries are pure memoization).
 // The caps are far above what a single architecture's search touches; they
 // only bound pathological runs.
@@ -52,110 +55,33 @@ const (
 	maxSFPEntries      = 1 << 15
 )
 
-// Stats are the engine's instrumentation counters. All counters are
-// cumulative since the Evaluator was created (or ResetStats). The zero
-// value is a valid empty Stats; Add merges run-level stats into
-// experiment-level aggregates.
-type Stats struct {
-	// Evaluations counts Evaluate requests, including cache hits.
-	Evaluations int64
-	// CacheHits and CacheMisses split Evaluations by solution-cache
-	// outcome.
-	CacheHits   int64
-	CacheMisses int64
-	// OptRuns counts RedundancyOpt requests; OptHits of them were answered
-	// from the per-mapping cache without re-running the hardening search.
-	OptRuns int64
-	OptHits int64
-	// ScheduleBuilds counts list-scheduler invocations (one per solution
-	// cache miss).
-	ScheduleBuilds int64
-	// SFPBuilds counts per-node SFP analyses computed (sfp.NewNode);
-	// SFPHits were served from the node-analysis cache.
-	SFPBuilds int64
-	SFPHits   int64
-	// Invalidations counts SetProblem calls that dropped the solution
-	// caches (architecture or model change).
-	Invalidations int64
-	// ReExecTime is the wall time spent in the SFP/re-execution layer
-	// (node analyses plus the greedy k-assignment); SchedTime is the wall
-	// time spent building schedules. Both cover cache misses only — hits
-	// cost neither.
-	ReExecTime time.Duration
-	SchedTime  time.Duration
-}
-
-// HitRate returns the solution-cache hit fraction in [0, 1].
-func (s Stats) HitRate() float64 {
-	if s.Evaluations == 0 {
-		return 0
-	}
-	return float64(s.CacheHits) / float64(s.Evaluations)
-}
-
-// OptHitRate returns the per-mapping RedundancyOpt cache hit fraction.
-func (s Stats) OptHitRate() float64 {
-	if s.OptRuns == 0 {
-		return 0
-	}
-	return float64(s.OptHits) / float64(s.OptRuns)
-}
-
-// Add accumulates o into s.
-func (s *Stats) Add(o Stats) {
-	s.Evaluations += o.Evaluations
-	s.CacheHits += o.CacheHits
-	s.CacheMisses += o.CacheMisses
-	s.OptRuns += o.OptRuns
-	s.OptHits += o.OptHits
-	s.ScheduleBuilds += o.ScheduleBuilds
-	s.SFPBuilds += o.SFPBuilds
-	s.SFPHits += o.SFPHits
-	s.Invalidations += o.Invalidations
-	s.ReExecTime += o.ReExecTime
-	s.SchedTime += o.SchedTime
-}
-
-// String renders the counters as the single-line summary printed by the
-// experiment reports.
-func (s Stats) String() string {
-	return fmt.Sprintf("evals=%d hit=%.1f%% opt=%d/%d sched=%d sfp=%d/%d reexec=%v sched-time=%v",
-		s.Evaluations, 100*s.HitRate(), s.OptHits, s.OptRuns,
-		s.ScheduleBuilds, s.SFPHits, s.SFPHits+s.SFPBuilds,
-		s.ReExecTime.Round(time.Microsecond), s.SchedTime.Round(time.Microsecond))
-}
-
-// Evaluator is the memoized evaluation engine for one redundancy problem
-// at a time. Create one with New, move it to the next candidate
-// architecture with SetProblem, and evaluate hardening vectors and
-// mappings with Evaluate / RedundancyOpt. The SFP node cache survives
-// SetProblem (node types recur across candidate architectures); the
-// solution caches are dropped whenever an input that affects them changes.
+// Evaluator is a single-goroutine handle onto the memoized evaluation
+// engine for one redundancy problem at a time. Create one with New, move
+// it to the next candidate architecture with SetProblem, and evaluate
+// hardening vectors and mappings with Evaluate / RedundancyOpt. The SFP
+// node cache survives SetProblem (node types recur across candidate
+// architectures); the solution caches are dropped whenever an input that
+// affects them changes.
+//
+// The caches and counters live in a store that may be shared by several
+// workers (see Concurrent); the per-Evaluator fields below are scratch
+// owned by one goroutine.
 type Evaluator struct {
 	prob   redundancy.Problem
 	period float64
 
-	sols      map[string]*redundancy.Solution // (levels, mapping) → solution
-	opts      map[string]*redundancy.Solution // mapping → RedundancyOpt result
-	sfpByNode map[*platform.Node]map[string]*sfp.Node
-	sfpCount  int
+	st *store // shared caches + instrumentation
 
 	ws       sched.Workspace
 	keyBuf   []byte
 	buckets  [][]int   // per arch node: pids mapped on it, ascending
 	probsBuf []float64 // scratch for one node's failure probabilities
-
-	stats Stats
 }
 
 // New returns an Evaluator for the given problem. The problem's Mapping
 // field is ignored — mappings are per-call inputs.
 func New(p redundancy.Problem) *Evaluator {
-	e := &Evaluator{
-		sols:      make(map[string]*redundancy.Solution),
-		opts:      make(map[string]*redundancy.Solution),
-		sfpByNode: make(map[*platform.Node]map[string]*sfp.Node),
-	}
+	e := &Evaluator{st: newStore(NewSFPCache())}
 	e.set(p)
 	return e
 }
@@ -163,11 +89,13 @@ func New(p redundancy.Problem) *Evaluator {
 // Problem returns the problem the evaluator is currently bound to.
 func (e *Evaluator) Problem() redundancy.Problem { return e.prob }
 
-// Stats returns a snapshot of the instrumentation counters.
-func (e *Evaluator) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the instrumentation counters. When the
+// evaluator is a worker of a Concurrent engine the counters cover the
+// whole engine, not just this worker.
+func (e *Evaluator) Stats() Stats { return e.st.stats.snapshot() }
 
 // ResetStats zeroes the instrumentation counters (the caches are kept).
-func (e *Evaluator) ResetStats() { e.stats = Stats{} }
+func (e *Evaluator) ResetStats() { e.st.stats.reset() }
 
 // SetProblem rebinds the evaluator to p, invalidating exactly what the
 // change invalidates: a new application or re-execution cap drops
@@ -177,14 +105,20 @@ func (e *Evaluator) ResetStats() { e.stats = Stats{} }
 // caches warm (core.Run relies on this when re-optimizing the mapping for
 // cost on the same architecture).
 func (e *Evaluator) SetProblem(p redundancy.Problem) {
-	if e.prob.App != p.App || e.prob.MaxK != p.MaxK {
-		e.sfpByNode = make(map[*platform.Node]map[string]*sfp.Node)
-		e.sfpCount = 0
-		e.dropSolutions()
-	} else if !e.compatible(p) {
-		e.dropSolutions()
-	}
+	e.invalidateFor(p)
 	e.set(p)
+}
+
+// invalidateFor drops whatever caches binding to p invalidates, without
+// rebinding. Concurrent.SetProblem runs it once before rebinding every
+// worker.
+func (e *Evaluator) invalidateFor(p redundancy.Problem) {
+	if e.prob.App != p.App || e.prob.MaxK != p.MaxK {
+		e.st.sfp.reset()
+		e.st.dropSolutions()
+	} else if !e.compatible(p) {
+		e.st.dropSolutions()
+	}
 }
 
 func (e *Evaluator) set(p redundancy.Problem) {
@@ -201,12 +135,6 @@ func (e *Evaluator) set(p redundancy.Problem) {
 		e.buckets = make([][]int, n)
 	}
 	e.buckets = e.buckets[:n]
-}
-
-func (e *Evaluator) dropSolutions() {
-	e.sols = make(map[string]*redundancy.Solution)
-	e.opts = make(map[string]*redundancy.Solution)
-	e.stats.Invalidations++
 }
 
 // compatible reports whether the cached solutions remain valid under p:
@@ -262,22 +190,20 @@ func appendInts(dst []byte, vals []int) []byte {
 // possible. The returned Solution is shared across callers and must be
 // treated as immutable.
 func (e *Evaluator) Evaluate(mapping, levels []int) (*redundancy.Solution, error) {
-	e.stats.Evaluations++
+	st := e.st
+	st.stats.evaluations.Add(1)
 	e.keyBuf = appendInts(appendInts(e.keyBuf[:0], levels), mapping)
 	key := string(e.keyBuf)
-	if sol, ok := e.sols[key]; ok {
-		e.stats.CacheHits++
+	if sol, ok := st.sols.get(key); ok {
+		st.stats.cacheHits.Add(1)
 		return sol, nil
 	}
-	e.stats.CacheMisses++
+	st.stats.cacheMisses.Add(1)
 	sol, err := e.evaluate(mapping, levels)
 	if err != nil {
 		return nil, err
 	}
-	if len(e.sols) >= maxSolutionEntries {
-		e.sols = make(map[string]*redundancy.Solution)
-	}
-	e.sols[key] = sol
+	st.sols.put(key, sol)
 	return sol, nil
 }
 
@@ -292,7 +218,7 @@ func (e *Evaluator) evaluate(mapping, levels []int) (*redundancy.Solution, error
 		return nil, err
 	}
 	ks, reliable, err := redundancy.ReExecutionOptAnalysis(analysis, p.Goal, e.maxK())
-	e.stats.ReExecTime += time.Since(start)
+	e.st.stats.reExecNanos.Add(int64(time.Since(start)))
 	if err != nil {
 		return nil, err
 	}
@@ -307,11 +233,11 @@ func (e *Evaluator) evaluate(mapping, levels []int) (*redundancy.Solution, error
 		Bus:     p.Bus,
 		Model:   p.Model,
 	}, &e.ws)
-	e.stats.SchedTime += time.Since(start)
+	e.st.stats.schedNanos.Add(int64(time.Since(start)))
 	if err != nil {
 		return nil, err
 	}
-	e.stats.ScheduleBuilds++
+	e.st.stats.scheduleBuilds.Add(1)
 	return &redundancy.Solution{
 		Levels:      append([]int(nil), levels...),
 		Ks:          ks,
@@ -348,9 +274,8 @@ func (e *Evaluator) analysisFor(mapping, levels []int) (*sfp.Analysis, error) {
 			return nil, fmt.Errorf("evalengine: node %d has no h-version at level %d", j, levels[j])
 		}
 		e.keyBuf = appendInts(appendInts(e.keyBuf[:0], levels[j:j+1]), e.buckets[j])
-		per := e.sfpByNode[n]
-		if nd, ok := per[string(e.keyBuf)]; ok {
-			e.stats.SFPHits++
+		if nd, ok := e.st.sfp.get(n, e.keyBuf); ok {
+			e.st.stats.sfpHits.Add(1)
 			anodes[j] = nd
 			continue
 		}
@@ -363,18 +288,8 @@ func (e *Evaluator) analysisFor(mapping, levels []int) (*sfp.Analysis, error) {
 		if err != nil {
 			return nil, fmt.Errorf("evalengine: node %d: %w", j, err)
 		}
-		e.stats.SFPBuilds++
-		if e.sfpCount >= maxSFPEntries {
-			e.sfpByNode = make(map[*platform.Node]map[string]*sfp.Node)
-			e.sfpCount = 0
-			per = nil
-		}
-		if per == nil {
-			per = make(map[string]*sfp.Node)
-			e.sfpByNode[n] = per
-		}
-		per[string(e.keyBuf)] = nd
-		e.sfpCount++
+		e.st.stats.sfpBuilds.Add(1)
+		e.st.sfp.put(n, string(e.keyBuf), nd)
 		anodes[j] = nd
 	}
 	return &sfp.Analysis{Nodes: anodes, Period: e.period}, nil
@@ -387,10 +302,11 @@ func (e *Evaluator) analysisFor(mapping, levels []int) (*sfp.Analysis, error) {
 // instead of a full hardening search. The returned Solution is shared and
 // must be treated as immutable.
 func (e *Evaluator) RedundancyOpt(mapping []int) (*redundancy.Solution, error) {
-	e.stats.OptRuns++
+	st := e.st
+	st.stats.optRuns.Add(1)
 	key := string(appendInts(e.keyBuf[:0], mapping))
-	if sol, ok := e.opts[key]; ok {
-		e.stats.OptHits++
+	if sol, ok := st.opts.get(key); ok {
+		st.stats.optHits.Add(1)
 		return sol, nil
 	}
 	q := e.prob
@@ -401,9 +317,6 @@ func (e *Evaluator) RedundancyOpt(mapping []int) (*redundancy.Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(e.opts) >= maxOptEntries {
-		e.opts = make(map[string]*redundancy.Solution)
-	}
-	e.opts[key] = sol
+	st.opts.put(key, sol)
 	return sol, nil
 }

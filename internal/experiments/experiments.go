@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/evalengine"
@@ -20,6 +21,11 @@ import (
 	"repro/internal/sched"
 	"repro/internal/taskgen"
 )
+
+// jobsStarted counts batch jobs that began real work, across all
+// AcceptanceStats calls; the fail-fast regression test reads it to prove
+// that a failing batch does not run to completion.
+var jobsStarted atomic.Int64
 
 // Config controls batch size and execution of an experiment run.
 type Config struct {
@@ -31,8 +37,15 @@ type Config struct {
 	Procs []int
 	// Seed bases the deterministic generation.
 	Seed int64
-	// Workers bounds the parallelism (0 = GOMAXPROCS).
+	// Workers bounds the parallelism across applications of a batch
+	// (0 = GOMAXPROCS).
 	Workers int
+	// RunWorkers is passed to core.Options.Workers: parallelism inside
+	// each design run (0 or 1 = sequential). Batch-level and in-run
+	// parallelism multiply; for full sweeps the batch dimension alone
+	// saturates the machine, so RunWorkers mainly serves single-run
+	// workloads (cmd/paperbench -run-workers, RuntimeStudy).
+	RunWorkers int
 	// MappingParams tunes the tabu search.
 	MappingParams mapping.Params
 	// Model selects the recovery-slack accounting for all runs.
@@ -94,39 +107,55 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 	stats := make(map[core.Strategy]evalengine.Stats)
 	var mu sync.Mutex
 	var firstErr error
+	// A failing batch fails fast: the first error stops new jobs from
+	// launching and makes in-flight jobs bail before their next strategy,
+	// instead of grinding through the rest of the batch for a result that
+	// is discarded anyway.
+	var stop atomic.Bool
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
 	sem := make(chan struct{}, cfg.workers())
 	var wg sync.WaitGroup
 	for _, jb := range jobs {
+		if stop.Load() {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(jb job) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if stop.Load() {
+				return
+			}
+			jobsStarted.Add(1)
 			gcfg := taskgen.DefaultConfig(jb.seed, jb.procs, pt.SER, pt.HPD)
 			gcfg.NumGraphs = cfg.Graphs
 			inst, err := taskgen.Generate(gcfg)
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+				record(err)
 				return
 			}
 			for _, s := range strategies {
+				if stop.Load() {
+					return
+				}
 				res, err := core.Run(inst.App, inst.Platform, core.Options{
 					Goal:          inst.Goal,
 					Strategy:      s,
 					MaxCost:       pt.ArC,
 					Model:         cfg.Model,
 					MappingParams: cfg.MappingParams,
+					Workers:       cfg.RunWorkers,
 				})
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					record(err)
 					return
 				}
 				mu.Lock()

@@ -292,3 +292,50 @@ func TestAblationBus(t *testing.T) {
 		t.Errorf("instantaneous bus accepted less than TDMA: %v vs %v", ideal, tdma)
 	}
 }
+
+// TestAcceptanceStatsFailFast is the regression test for the batch
+// grinding on after a failure: with an intentionally invalid point (the
+// generator rejects a negative SER immediately) and a single worker, the
+// first job's error must stop the remaining jobs from starting.
+func TestAcceptanceStatsFailFast(t *testing.T) {
+	cfg := Config{Apps: 50, Procs: []int{20}, Seed: 3, Workers: 1}
+	before := jobsStarted.Load()
+	_, _, err := AcceptanceStats(cfg, Point{SER: -1, HPD: 25, ArC: 20})
+	if err == nil {
+		t.Fatal("want error for negative SER")
+	}
+	if !strings.Contains(err.Error(), "SER") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	started := jobsStarted.Load() - before
+	// With one worker the launch loop observes the stop flag before
+	// admitting the second job; allow minimal in-flight slack rather than
+	// pinning scheduler timing.
+	if started > 2 {
+		t.Errorf("%d of %d jobs started after the first failure", started, cfg.Apps)
+	}
+}
+
+// TestAcceptanceRunWorkers: in-run parallelism yields the same acceptance
+// rates as the sequential per-run path.
+func TestAcceptanceRunWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the batch twice")
+	}
+	pt := Point{SER: 1e-11, HPD: 25, ArC: 20}
+	want, err := Acceptance(tinyConfig(), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.RunWorkers = 3
+	got, err := Acceptance(cfg, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, rate := range want {
+		if got[s] != rate {
+			t.Errorf("%s: rate %v with RunWorkers, want %v", s, got[s], rate)
+		}
+	}
+}

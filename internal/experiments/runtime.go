@@ -37,6 +37,7 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 					Goal:          inst.Goal,
 					Strategy:      s,
 					MappingParams: cfg.MappingParams,
+					Workers:       cfg.RunWorkers,
 				})
 				if err != nil {
 					return nil, err

@@ -123,6 +123,17 @@ func lessObj(a, b [3]float64) bool {
 // solution may be infeasible if no feasible mapping was found — the
 // caller (DesignStrategy) then grows the architecture.
 func Optimize(ev *evalengine.Evaluator, initial []int, cf CostFunction, params Params) (*Result, error) {
+	return optimize(ev, nil, initial, cf, params)
+}
+
+// optimize is the tabu search with a pluggable neighborhood evaluator:
+// batch, when non-nil, evaluates one iteration's trial mappings (possibly
+// out of order, possibly concurrently) and returns their solutions
+// indexed like the trials. The search builds the trial list, the
+// solutions, and the winner selection in the exact order of the
+// sequential path, so any batch that returns the same solutions yields
+// the identical trajectory (see OptimizeConcurrent).
+func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solution, error), initial []int, cf CostFunction, params Params) (*Result, error) {
 	params = params.withDefaults()
 	p := ev.Problem()
 	n := p.App.NumProcesses()
@@ -151,13 +162,9 @@ func Optimize(ev *evalengine.Evaluator, initial []int, cf CostFunction, params P
 	}
 
 	evals := 0
-	evaluate := func(m []int) (*redundancy.Solution, error) {
-		evals++
-		return ev.RedundancyOpt(m)
-	}
-
 	pred := p.App.Predecessors()
-	curSol, err := evaluate(cur)
+	evals++
+	curSol, err := ev.RedundancyOpt(cur)
 	if err != nil {
 		return nil, err
 	}
@@ -167,17 +174,53 @@ func Optimize(ev *evalengine.Evaluator, initial []int, cf CostFunction, params P
 	tabu := make([]int, n)    // iterations left in tabu state
 	waiting := make([]int, n) // iterations since last move
 
+	type move struct {
+		pid  appmodel.ProcID
+		node int
+		sol  *redundancy.Solution
+		obj  [3]float64
+	}
+
 	noImprove := 0
 	for iter := 0; iter < params.MaxIterations && noImprove < params.MaxNoImprove; iter++ {
 		if numNodes == 1 {
 			break // nothing to move
 		}
 		cands := criticalPath(pred, cur, curSol)
-		type move struct {
-			pid  appmodel.ProcID
-			node int
-			sol  *redundancy.Solution
-			obj  [3]float64
+		// The iteration's neighborhood, in the canonical order (critical
+		// path × target nodes). Selection below scans the same order with
+		// a strict-less comparator, so it picks the same winner whether
+		// the solutions were computed here one by one or by a batch.
+		var trials [][]int
+		var moves []move
+		for _, pid := range cands {
+			for j := 0; j < numNodes; j++ {
+				if j == cur[pid] {
+					continue
+				}
+				trial := append([]int(nil), cur...)
+				trial[pid] = j
+				trials = append(trials, trial)
+				moves = append(moves, move{pid: pid, node: j})
+			}
+		}
+		if len(trials) == 0 {
+			break // no candidates (empty critical path)
+		}
+		evals += len(trials)
+		var sols []*redundancy.Solution
+		if batch != nil && len(trials) > 1 {
+			sols, err = batch(trials)
+		} else {
+			sols = make([]*redundancy.Solution, len(trials))
+			for i := range trials {
+				if sols[i], err = ev.RedundancyOpt(trials[i]); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
 		}
 		// Move ordering: objective first, then the waiting priority of
 		// Section 6.2 (processes that have waited longest to be re-mapped
@@ -195,28 +238,16 @@ func Optimize(ev *evalengine.Evaluator, initial []int, cf CostFunction, params P
 			return a.node < b.node
 		}
 		var bestAny, bestNonTabu *move
-		for _, pid := range cands {
-			for j := 0; j < numNodes; j++ {
-				if j == cur[pid] {
-					continue
-				}
-				trial := append([]int(nil), cur...)
-				trial[pid] = j
-				sol, err := evaluate(trial)
-				if err != nil {
-					return nil, err
-				}
-				mv := &move{pid: pid, node: j, sol: sol, obj: objective(cf, sol)}
-				if bestAny == nil || lessMove(mv, bestAny) {
-					bestAny = mv
-				}
-				if tabu[pid] == 0 && (bestNonTabu == nil || lessMove(mv, bestNonTabu)) {
-					bestNonTabu = mv
-				}
+		for i := range moves {
+			mv := &moves[i]
+			mv.sol = sols[i]
+			mv.obj = objective(cf, mv.sol)
+			if bestAny == nil || lessMove(mv, bestAny) {
+				bestAny = mv
 			}
-		}
-		if bestAny == nil {
-			break // no candidates (empty critical path)
+			if tabu[mv.pid] == 0 && (bestNonTabu == nil || lessMove(mv, bestNonTabu)) {
+				bestNonTabu = mv
+			}
 		}
 		// Rule (1): accept the best move, tabu or not, if it beats the
 		// best-so-far. Rule (2): otherwise take the best non-tabu move,
@@ -293,6 +324,10 @@ func criticalPath(pred [][]appmodel.Edge, mapping []int, sol *redundancy.Solutio
 		}
 		next := -1
 		// Message (or intra-node data) dependency that fixed the start?
+		// Track the latest-arriving predecessor alongside: when the start
+		// was fixed by worst-case/recovery timing rather than a fault-free
+		// arrival, no edge matches exactly and the walk falls back to it.
+		maxPred, maxArr := -1, math.Inf(-1)
 		for _, e := range pred[pid] {
 			arr := s.Finish[e.Src]
 			if mapping[e.Src] != mapping[e.Dst] && !math.IsNaN(s.MsgEnd[e.ID]) {
@@ -302,10 +337,18 @@ func criticalPath(pred [][]appmodel.Edge, mapping []int, sol *redundancy.Solutio
 				next = int(e.Src)
 				break
 			}
+			if arr > maxArr {
+				maxPred, maxArr = int(e.Src), arr
+			}
 		}
-		// Otherwise the node was busy: follow the schedule predecessor.
+		// Otherwise the node was busy: follow the schedule predecessor,
+		// or, first on its node, the latest-arriving predecessor — never
+		// silently truncate the candidate set while dependencies remain.
 		if next < 0 {
 			next = prevOnNode[pid]
+		}
+		if next < 0 {
+			next = maxPred
 		}
 		cur = next
 	}

@@ -1,0 +1,69 @@
+package mapping
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/evalengine"
+	"repro/internal/redundancy"
+)
+
+// OptimizeConcurrent is Optimize with the tabu neighborhood fanned out
+// over the engine's workers: each iteration's trial mappings are
+// evaluated by a bounded worker pool, then the winner is selected in the
+// canonical candidate order with the same strict-less comparator as the
+// sequential path. Every evaluation is deterministic regardless of which
+// worker computes it (the caches only short-cut to bit-identical
+// values), so the returned trajectory — mapping, solution, evaluation
+// count — is identical to Optimize on worker 0 (TestParallelMatchesSequential).
+func OptimizeConcurrent(ce *evalengine.Concurrent, initial []int, cf CostFunction, params Params) (*Result, error) {
+	if ce.NumWorkers() <= 1 {
+		return Optimize(ce.Worker(0), initial, cf, params)
+	}
+	return optimize(ce.Worker(0), func(trials [][]int) ([]*redundancy.Solution, error) {
+		return evalTrials(ce, trials)
+	}, initial, cf, params)
+}
+
+// evalTrials evaluates the trial mappings on the engine's workers. Work
+// is handed out by an atomic counter (work stealing, no per-trial
+// goroutine), results land by index, and a failure makes the remaining
+// workers drain without starting new trials. On failure the
+// lowest-indexed recorded error is returned.
+func evalTrials(ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Solution, error) {
+	sols := make([]*redundancy.Solution, len(trials))
+	errs := make([]error, len(trials))
+	w := ce.NumWorkers()
+	if w > len(trials) {
+		w = len(trials)
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(ev *evalengine.Evaluator) {
+			defer wg.Done()
+			for !failed.Load() {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(trials) {
+					return
+				}
+				sol, err := ev.RedundancyOpt(trials[idx])
+				if err != nil {
+					errs[idx] = err
+					failed.Store(true)
+					return
+				}
+				sols[idx] = sol
+			}
+		}(ce.Worker(i))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sols, nil
+}

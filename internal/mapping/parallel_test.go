@@ -1,0 +1,178 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/evalengine"
+	"repro/internal/paper"
+	"repro/internal/platform"
+	"repro/internal/redundancy"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+	"repro/internal/ttp"
+)
+
+// assertSameResult fails unless the two optimization results are
+// bit-identical in mapping, evaluation count, and every solution field
+// the design strategy consumes.
+func assertSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Mapping) != len(want.Mapping) {
+		t.Fatalf("%s: mapping sizes %d vs %d", label, len(got.Mapping), len(want.Mapping))
+	}
+	for i := range got.Mapping {
+		if got.Mapping[i] != want.Mapping[i] {
+			t.Fatalf("%s: mapping %v, want %v", label, got.Mapping, want.Mapping)
+		}
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Errorf("%s: evaluations %d, want %d", label, got.Evaluations, want.Evaluations)
+	}
+	gs, ws := got.Solution, want.Solution
+	if gs.Feasible() != ws.Feasible() {
+		t.Errorf("%s: feasible %v, want %v", label, gs.Feasible(), ws.Feasible())
+	}
+	if math.Float64bits(gs.Cost) != math.Float64bits(ws.Cost) {
+		t.Errorf("%s: cost %v, want %v", label, gs.Cost, ws.Cost)
+	}
+	if math.Float64bits(gs.Schedule.Length) != math.Float64bits(ws.Schedule.Length) {
+		t.Errorf("%s: SL %v, want %v", label, gs.Schedule.Length, ws.Schedule.Length)
+	}
+	for i := range ws.Levels {
+		if gs.Levels[i] != ws.Levels[i] {
+			t.Errorf("%s: levels %v, want %v", label, gs.Levels, ws.Levels)
+			break
+		}
+	}
+	for i := range ws.Ks {
+		if gs.Ks[i] != ws.Ks[i] {
+			t.Errorf("%s: ks %v, want %v", label, gs.Ks, ws.Ks)
+			break
+		}
+	}
+}
+
+// TestParallelMatchesSequential proves OptimizeConcurrent returns the
+// identical trajectory as Optimize — same mapping, hardening vector,
+// schedule length, cost, and evaluation count — on the Fig. 1/Fig. 4
+// deployment and a batch of seeded synthetic applications, for both cost
+// functions.
+func TestParallelMatchesSequential(t *testing.T) {
+	type tc struct {
+		label   string
+		prob    redundancy.Problem
+		initial []int
+	}
+	cases := []tc{
+		{"fig1-greedy", fig1Problem(), nil},
+		{"fig1-fig4a-seed", fig1Problem(), []int{0, 0, 1, 1}},
+		{"fig1-bad-seed", fig1Problem(), []int{0, 0, 0, 0}},
+	}
+	for i := 0; i < 6; i++ {
+		n := 10 + 5*(i%3)
+		ser := []float64{1e-12, 1e-11, 1e-10}[i%3]
+		inst, err := taskgen.Generate(taskgen.DefaultConfig(int64(200+i), n, ser, 25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := []*platform.Node{&inst.Platform.Nodes[i%2], &inst.Platform.Nodes[2+i%2]}
+		cases = append(cases, tc{
+			label: fmt.Sprintf("synthetic-%d", i),
+			prob: redundancy.Problem{
+				App:  inst.App,
+				Arch: platform.NewArchitecture(nodes),
+				Goal: inst.Goal,
+				Bus:  ttp.NewBus(2, inst.Platform.Bus.SlotLen),
+			},
+		})
+	}
+	for _, c := range cases {
+		for _, cf := range []CostFunction{ScheduleLength, ArchitectureCost} {
+			want, err := Optimize(evalengine.New(c.prob), c.initial, cf, Params{})
+			if err != nil {
+				t.Fatalf("%s/%v sequential: %v", c.label, cf, err)
+			}
+			for _, workers := range []int{2, 4} {
+				ce := evalengine.NewConcurrent(c.prob, workers)
+				got, err := OptimizeConcurrent(ce, c.initial, cf, Params{})
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d: %v", c.label, cf, workers, err)
+				}
+				assertSameResult(t, fmt.Sprintf("%s/%v workers=%d", c.label, cf, workers), got, want)
+			}
+		}
+	}
+}
+
+// TestOptimizeConcurrentSingleWorker: a one-worker engine takes the plain
+// sequential path.
+func TestOptimizeConcurrentSingleWorker(t *testing.T) {
+	p := fig1Problem()
+	want, err := Optimize(evalengine.New(p), nil, ArchitectureCost, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptimizeConcurrent(evalengine.NewConcurrent(p, 1), nil, ArchitectureCost, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "single worker", got, want)
+}
+
+// TestOptimizeConcurrentError: an evaluation error inside the worker pool
+// surfaces, instead of hanging or panicking.
+func TestOptimizeConcurrentError(t *testing.T) {
+	p := fig1Problem()
+	ce := evalengine.NewConcurrent(p, 4)
+	if _, err := OptimizeConcurrent(ce, []int{0, 0, 0, 9}, ScheduleLength, Params{}); err == nil {
+		t.Error("want error for out-of-range initial mapping")
+	}
+}
+
+// TestCriticalPathWorstCaseArrival is the regression test for the silent
+// truncation: under the per-process slack model a successor's start is
+// fixed by the predecessor's worst-case (recovery-inclusive) finish, the
+// exact fault-free-arrival match fails, and a first-on-its-node process
+// has no schedule predecessor — the old walk stopped there. The walk must
+// fall back to the latest-arriving predecessor and reach the source.
+func TestCriticalPathWorstCaseArrival(t *testing.T) {
+	b := appmodel.NewBuilder("worst-case-arrival")
+	b.Graph("G", 1000)
+	a := b.Process("A", 10)
+	bb := b.Process("B", 10)
+	b.Edge("e", a, bb, 4)
+	app := b.MustBuild()
+	app.Procs[a].Mu = 5
+	pl := paper.Fig1Platform()
+	ar := platform.NewArchitecture([]*platform.Node{&pl.Nodes[0], &pl.Nodes[1]})
+	mapping := []int{0, 1}
+
+	// No bus and per-process slack: B's arrival is A's worst-case finish
+	// (finish + k×(wcet+μ)), while the matcher's fault-free candidates are
+	// A's finish (no message end is recorded without a bus).
+	s, err := sched.Build(sched.Input{
+		App:     app,
+		Arch:    ar,
+		Mapping: mapping,
+		Ks:      []int{1, 1},
+		Model:   sched.SlackPerProcess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[bb] <= s.Finish[a] {
+		t.Fatalf("precondition failed: B starts at %v, not after A's fault-free finish %v",
+			s.Start[bb], s.Finish[a])
+	}
+
+	path := criticalPath(app.Predecessors(), mapping, &redundancy.Solution{Schedule: s})
+	if len(path) != 2 {
+		t.Fatalf("critical path %v: want [B A] — the walk truncated", path)
+	}
+	if path[0] != bb || path[1] != a {
+		t.Errorf("critical path %v, want [%d %d]", path, bb, a)
+	}
+}

@@ -1,4 +1,4 @@
-package sched
+package sched_test
 
 import (
 	"math"
@@ -8,6 +8,7 @@ import (
 	"repro/internal/appmodel"
 	"repro/internal/paper"
 	"repro/internal/platform"
+	. "repro/internal/sched"
 	"repro/internal/ttp"
 )
 
