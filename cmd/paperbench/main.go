@@ -37,6 +37,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -57,8 +58,19 @@ func run(args []string, w io.Writer) error {
 	md := fs.Bool("md", false, "render tables as Markdown instead of ASCII")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the selected figures to this file")
+	trace := fs.String("trace", "", "write a Chrome trace_event JSON of the selected figures to this file (load in Perfetto or chrome://tracing)")
+	metrics := fs.Bool("metrics", false, "print the observability counters and duration histograms after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tracer *obs.Tracer
+	if *trace != "" {
+		tracer = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
 
 	if *cpuprofile != "" {
@@ -87,13 +99,18 @@ func run(args []string, w io.Writer) error {
 		}()
 	}
 
-	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers, RunWorkers: *runWorkers}
+	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers, RunWorkers: *runWorkers, Metrics: reg}
 	for _, tok := range splitInts(*procs) {
 		cfg.Procs = append(cfg.Procs, tok)
 	}
 	if len(cfg.Procs) == 0 {
 		return fmt.Errorf("no process counts in -procs")
 	}
+
+	// figSpan is the current figure's root span; the job closures read cfg
+	// (and runCC reads figSpan) when they run, so the per-figure loop below
+	// rebinds both before each job.
+	var figSpan *obs.Span
 
 	type job struct {
 		name string
@@ -119,7 +136,7 @@ func run(args []string, w io.Writer) error {
 		"6b": {"Fig. 6b", table(experiments.Fig6b)},
 		"6c": {"Fig. 6c", table(experiments.Fig6c)},
 		"6d": {"Fig. 6d", table(experiments.Fig6d)},
-		"cc": {"Cruise controller", func() error { return runCC(w, render, *runWorkers) }},
+		"cc": {"Cruise controller", func() error { return runCC(w, render, *runWorkers, figSpan, reg) }},
 		"runtime": {"Strategy runtime", func() error {
 			t, err := experiments.RuntimeStudy(cfg, 1e-11, 25)
 			if err != nil {
@@ -189,16 +206,44 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintln(w)
 		}
 		start := time.Now()
-		if err := jobs[name].run(); err != nil {
+		figSpan = tracer.Start("fig." + name)
+		cfg.Span = figSpan
+		err := jobs[name].run()
+		figSpan.End()
+		if err != nil {
 			return fmt.Errorf("%s: %w", jobs[name].name, err)
 		}
 		fmt.Fprintf(w, "(%s regenerated in %v)\n", jobs[name].name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if tracer != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		err = tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		fmt.Fprintf(w, "(trace: %d spans written to %s)\n", tracer.SpanCount(), *trace)
+	}
+	if reg != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "metrics:")
+		if err := reg.WriteText(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// runCC reproduces the cruise-controller case study.
-func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int) error {
+// runCC reproduces the cruise-controller case study. span and reg are the
+// optional observability hooks (nil disables them): the three design runs
+// nest under span and fold their counters into reg.
+func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int, span *obs.Span, reg *obs.Registry) error {
 	inst, err := cc.Instance()
 	if err != nil {
 		return err
@@ -212,7 +257,10 @@ func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int) e
 	}
 	var lines []strategyStats
 	for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
-		res, err := core.Run(inst.App, inst.Platform, core.Options{Goal: inst.Goal, Strategy: s, Workers: runWorkers})
+		res, err := core.Run(inst.App, inst.Platform, core.Options{
+			Goal: inst.Goal, Strategy: s, Workers: runWorkers,
+			ParentSpan: span, Metrics: reg,
+		})
 		if err != nil {
 			return err
 		}

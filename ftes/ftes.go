@@ -38,6 +38,7 @@ import (
 	"repro/internal/evalengine"
 	"repro/internal/faultsim"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
 	"repro/internal/sched"
@@ -263,6 +264,27 @@ const (
 func Run(app *Application, pl *Platform, opts Options) (*Result, error) {
 	return core.Run(app, pl, opts)
 }
+
+// Observability (internal/obs): hierarchical spans exportable as Chrome
+// trace_event JSON and a registry of counters and duration histograms.
+// Install a Tracer via Options.Tracer (or a parent span via
+// Options.ParentSpan) and a Metrics registry via Options.Metrics; nil
+// disables recording at no cost. The span taxonomy is documented in
+// DESIGN.md.
+type (
+	// Tracer records hierarchical spans; export with WriteChromeTrace.
+	Tracer = obs.Tracer
+	// Span is one timed region of a trace.
+	Span = obs.Span
+	// Metrics is a registry of named counters and duration histograms.
+	Metrics = obs.Registry
+)
+
+// NewTracer returns an enabled tracer whose clock starts now.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetrics returns an empty, enabled metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // Synthetic workloads (Section 7).
 type (

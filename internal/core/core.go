@@ -16,10 +16,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/appmodel"
 	"repro/internal/evalengine"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
 	"repro/internal/sched"
@@ -79,6 +81,45 @@ type Options struct {
 	// are selected by a deterministic replay in enumeration order
 	// (TestParallelMatchesSequential). 0 or 1 means sequential.
 	Workers int
+	// Tracer, when non-nil, records the run as hierarchical spans — one
+	// per candidate architecture, per mapping optimization, per tabu
+	// iteration and per RedundancyOpt hardening search — exportable as
+	// Chrome trace_event JSON (see internal/obs and the span taxonomy in
+	// DESIGN.md). Instrumentation does not alter the result.
+	Tracer *obs.Tracer
+	// ParentSpan nests the run under an existing span instead of starting
+	// a root span on Tracer; when set it wins over Tracer. Experiment
+	// harnesses use it to group runs under per-row spans.
+	ParentSpan *obs.Span
+	// Metrics, when non-nil, receives the run's counters (core.*,
+	// evalengine.*, mapping.*) and duration histograms.
+	Metrics *obs.Registry
+}
+
+// runSpan opens the root span of one design run.
+func (o Options) runSpan(app *appmodel.Application) *obs.Span {
+	attrs := []obs.Attr{
+		obs.String("strategy", o.Strategy.String()),
+		obs.Int("processes", app.NumProcesses()),
+		obs.Int("workers", o.Workers),
+	}
+	if o.ParentSpan != nil {
+		return o.ParentSpan.Child("core.run", attrs...)
+	}
+	return o.Tracer.Start("core.run", attrs...)
+}
+
+// publish folds a finished run's counters into the metrics registry.
+func (o Options) publish(res *Result, elapsed time.Duration) {
+	r := o.Metrics
+	if r == nil {
+		return
+	}
+	r.Counter("core.runs").Add(1)
+	r.Counter("core.archs_explored").Add(int64(res.ArchsExplored))
+	r.Counter("core.evaluations").Add(int64(res.Evaluations))
+	r.Histogram("core.run").Observe(elapsed)
+	res.EvalStats.Publish(r)
 }
 
 // Result is the outcome of a design run.
@@ -136,6 +177,9 @@ func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Resul
 // parallel path (parallel.go) replays candidate selection in this exact
 // order.
 func runSequential(app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
+	start := time.Now()
+	span := opts.runSpan(app)
+	defer span.End()
 	enum := platform.NewEnumerator(pl)
 	res := &Result{}
 	// One evaluation engine is shared across the whole architecture loop:
@@ -167,7 +211,13 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 			ar.SetMaxHardening()
 			floor = ar.Cost()
 		}
+		archSpan := span.Child("arch",
+			obs.Int("nodes", n),
+			obs.Int("index", idx),
+			obs.Float("floor_cost", floor))
 		if floor >= bestCost {
+			archSpan.SetAttr(obs.Bool("pruned", true))
+			archSpan.End()
 			idx++
 			continue
 		}
@@ -175,13 +225,16 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 		prob := problem(app, pl, ar, opts)
 		if ev == nil {
 			ev = evalengine.New(prob)
+			ev.SetMetrics(opts.Metrics)
 		} else {
 			ev.SetProblem(prob)
 		}
+		ev.SetTraceSpan(archSpan)
 
 		// Fig. 5 line 7: best mapping for schedule length.
 		sl, err := mapping.Optimize(ev, nil, mapping.ScheduleLength, opts.MappingParams)
 		if err != nil {
+			archSpan.End()
 			return nil, err
 		}
 		res.Evaluations += sl.Evaluations
@@ -189,6 +242,8 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 		if !sl.Solution.Feasible() {
 			// Unschedulable (or unreliable) even at the best mapping:
 			// grow the architecture (Fig. 5 line 15).
+			archSpan.SetAttr(obs.Bool("feasible", false))
+			archSpan.End()
 			n++
 			idx = 0
 			continue
@@ -198,9 +253,12 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 		// seeded with the schedulable mapping.
 		co, err := mapping.Optimize(ev, sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
 		if err != nil {
+			archSpan.End()
 			return nil, err
 		}
 		res.Evaluations += co.Evaluations
+		archSpan.SetAttr(obs.Bool("feasible", true))
+		archSpan.End()
 
 		cand := co
 		if !co.Solution.Feasible() {
@@ -222,6 +280,11 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 	if ev != nil {
 		res.EvalStats = ev.Stats()
 	}
+	span.SetAttr(
+		obs.Bool("feasible", res.Feasible),
+		obs.Int("archs_explored", res.ArchsExplored),
+		obs.Int("evaluations", res.Evaluations))
+	opts.publish(res, time.Since(start))
 	return res, nil
 }
 

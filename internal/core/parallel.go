@@ -3,10 +3,12 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/appmodel"
 	"repro/internal/evalengine"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -26,6 +28,9 @@ import (
 // of rebinding one. Result.ArchsExplored and Result.Evaluations count
 // replay-consumed work only and match runSequential exactly.
 func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
+	start := time.Now()
+	span := opts.runSpan(app)
+	defer span.End()
 	enum := platform.NewEnumerator(pl)
 	res := &Result{}
 	var agg evalengine.Stats
@@ -94,7 +99,7 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 					if int64(i) > minInfeasible.Load() {
 						return
 					}
-					results[i] = probeArch(app, pl, cands[i], opts, innerW, sfpc)
+					results[i] = probeArch(app, pl, cands[i], opts, innerW, sfpc, span, i, true)
 					r := &results[i]
 					if r.err == nil && !r.sl.Solution.Feasible() {
 						for {
@@ -109,7 +114,7 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 			wg.Wait()
 		} else if len(launch) == 1 {
 			// A lone launchable candidate gets the full worker budget.
-			results[launch[0]] = probeArch(app, pl, cands[launch[0]], opts, opts.Workers, sfpc)
+			results[launch[0]] = probeArch(app, pl, cands[launch[0]], opts, opts.Workers, sfpc, span, launch[0], false)
 		}
 
 		// Replay the class in enumeration order, consuming probe results
@@ -123,7 +128,7 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 			if !r.done {
 				// Not launched or abandoned, yet reached by the replay:
 				// compute it now (nothing else is running).
-				*r = probeArch(app, pl, cands[i], opts, opts.Workers, sfpc)
+				*r = probeArch(app, pl, cands[i], opts, opts.Workers, sfpc, span, i, false)
 			}
 			if r.err != nil {
 				return nil, r.err
@@ -156,6 +161,11 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 		}
 	}
 	res.EvalStats = agg
+	span.SetAttr(
+		obs.Bool("feasible", res.Feasible),
+		obs.Int("archs_explored", res.ArchsExplored),
+		obs.Int("evaluations", res.Evaluations))
+	opts.publish(res, time.Since(start))
 	return res, nil
 }
 
@@ -170,12 +180,25 @@ type probeResult struct {
 
 // probeArch runs the two mapping optimizations of Fig. 5 lines 7–9 for
 // one candidate on a fresh concurrent engine with the given worker count.
-func probeArch(app *appmodel.Application, pl *platform.Platform, ar *platform.Architecture, opts Options, workers int, sfpc *evalengine.SFPCache) probeResult {
+// runSpan/idx/speculative feed the candidate's arch span; concurrent
+// probes become concurrent sibling spans under the run.
+func probeArch(app *appmodel.Application, pl *platform.Platform, ar *platform.Architecture, opts Options, workers int, sfpc *evalengine.SFPCache, runSpan *obs.Span, idx int, speculative bool) probeResult {
+	span := runSpan.Child("arch",
+		obs.Int("nodes", len(ar.Nodes)),
+		obs.Int("index", idx),
+		obs.Int("workers", workers),
+		obs.Bool("speculative", speculative))
+	defer span.End()
 	ce := evalengine.NewConcurrentWith(problem(app, pl, ar, opts), workers, sfpc)
+	ce.SetMetrics(opts.Metrics)
+	ce.Worker(0).SetTraceSpan(span)
 	r := probeResult{done: true}
 	r.sl, r.err = mapping.OptimizeConcurrent(ce, nil, mapping.ScheduleLength, opts.MappingParams)
 	if r.err == nil && r.sl.Solution.Feasible() {
 		r.co, r.err = mapping.OptimizeConcurrent(ce, r.sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
+	}
+	if r.err == nil {
+		span.SetAttr(obs.Bool("feasible", r.sl.Solution.Feasible()))
 	}
 	r.stats = ce.Stats()
 	return r

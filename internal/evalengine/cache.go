@@ -2,7 +2,9 @@ package evalengine
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
 	"repro/internal/sfp"
@@ -144,22 +146,79 @@ func (c *SFPCache) reset() {
 	}
 }
 
+// workerCounters attributes engine work to one worker of a Concurrent
+// engine. Padded to a cache line so workers incrementing their own slot do
+// not false-share.
+type workerCounters struct {
+	evaluations atomic.Int64
+	cacheMisses atomic.Int64
+	_           [48]byte
+}
+
 // store bundles the caches and counters shared by every Evaluator of one
 // engine: a solo Evaluator owns a private store; a Concurrent engine hands
 // the same store to all its workers.
 type store struct {
-	sols  *solCache // (levels, mapping) → solution
-	opts  *solCache // mapping → RedundancyOpt result
-	sfp   *SFPCache
-	stats atomicStats
+	sols      *solCache // (levels, mapping) → solution
+	opts      *solCache // mapping → RedundancyOpt result
+	sfp       *SFPCache
+	stats     atomicStats
+	perWorker []workerCounters
+
+	// metrics is the optional live-instrumentation sink; the histograms are
+	// resolved once at setMetrics so the hot path observes through nil-safe
+	// pointers instead of registry lookups.
+	metrics *obs.Registry
+	mReexec *obs.Histogram
+	mSched  *obs.Histogram
+	mOpt    *obs.Histogram
 }
 
-func newStore(sfpc *SFPCache) *store {
-	return &store{
-		sols: newSolCache(maxSolutionEntries),
-		opts: newSolCache(maxOptEntries),
-		sfp:  sfpc,
+func newStore(sfpc *SFPCache, workers int) *store {
+	if workers < 1 {
+		workers = 1
 	}
+	return &store{
+		sols:      newSolCache(maxSolutionEntries),
+		opts:      newSolCache(maxOptEntries),
+		sfp:       sfpc,
+		perWorker: make([]workerCounters, workers),
+	}
+}
+
+// setMetrics installs (or removes, with nil) the registry the engine's
+// duration histograms are recorded into.
+func (st *store) setMetrics(r *obs.Registry) {
+	st.metrics = r
+	st.mReexec = r.Histogram("evalengine.reexec")
+	st.mSched = r.Histogram("evalengine.sched")
+	st.mOpt = r.Histogram("evalengine.redundancy_opt")
+}
+
+// resetStats zeroes the engine-wide and per-worker counters.
+func (st *store) resetStats() {
+	st.stats.reset()
+	for i := range st.perWorker {
+		st.perWorker[i].evaluations.Store(0)
+		st.perWorker[i].cacheMisses.Store(0)
+	}
+}
+
+// snapshotStats renders the engine-wide Stats, with per-worker attribution
+// when the engine has more than one worker.
+func (st *store) snapshotStats() Stats {
+	s := st.stats.snapshot()
+	if len(st.perWorker) > 1 {
+		s.PerWorker = make([]WorkerStats, len(st.perWorker))
+		for i := range st.perWorker {
+			w := &st.perWorker[i]
+			s.PerWorker[i] = WorkerStats{
+				Evaluations: w.evaluations.Load(),
+				CacheMisses: w.cacheMisses.Load(),
+			}
+		}
+	}
+	return s
 }
 
 func (st *store) dropSolutions() {

@@ -1,6 +1,7 @@
 package evalengine
 
 import (
+	"repro/internal/obs"
 	"repro/internal/redundancy"
 	"repro/internal/sched"
 )
@@ -43,10 +44,10 @@ func NewConcurrentWith(p redundancy.Problem, workers int, sfpc *SFPCache) *Concu
 	if sfpc == nil {
 		sfpc = NewSFPCache()
 	}
-	st := newStore(sfpc)
+	st := newStore(sfpc, workers)
 	c := &Concurrent{st: st, workers: make([]*Evaluator, workers)}
 	for i := range c.workers {
-		c.workers[i] = &Evaluator{st: st}
+		c.workers[i] = &Evaluator{st: st, wid: i}
 	}
 	c.bind(p)
 	return c
@@ -91,8 +92,15 @@ func (c *Concurrent) SetProblem(p redundancy.Problem) {
 	c.bind(p)
 }
 
-// Stats returns a snapshot of the engine-wide counters.
-func (c *Concurrent) Stats() Stats { return c.st.stats.snapshot() }
+// Stats returns a snapshot of the engine-wide counters, including
+// per-worker attribution (Stats.PerWorker) when the engine has more than
+// one worker.
+func (c *Concurrent) Stats() Stats { return c.st.snapshotStats() }
 
 // ResetStats zeroes the engine-wide counters (the caches are kept).
-func (c *Concurrent) ResetStats() { c.st.stats.reset() }
+func (c *Concurrent) ResetStats() { c.st.resetStats() }
+
+// SetMetrics installs the registry the engine's duration histograms are
+// recorded into (shared by all workers); nil disables them. Spans are
+// per-worker: install them with Worker(i).SetTraceSpan.
+func (c *Concurrent) SetMetrics(r *obs.Registry) { c.st.setMetrics(r) }

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/redundancy"
 	"repro/internal/sched"
 	"repro/internal/sfp"
@@ -72,6 +73,13 @@ type Evaluator struct {
 
 	st *store // shared caches + instrumentation
 
+	// span is the observability scope expensive work (RedundancyOpt cache
+	// misses) is recorded under; wid is this worker's slot in the shared
+	// per-worker counters. Both are per-goroutine scratch like the buffers
+	// below.
+	span *obs.Span
+	wid  int
+
 	ws       sched.Workspace
 	keyBuf   []byte
 	buckets  [][]int   // per arch node: pids mapped on it, ascending
@@ -81,10 +89,29 @@ type Evaluator struct {
 // New returns an Evaluator for the given problem. The problem's Mapping
 // field is ignored — mappings are per-call inputs.
 func New(p redundancy.Problem) *Evaluator {
-	e := &Evaluator{st: newStore(NewSFPCache())}
+	e := &Evaluator{st: newStore(NewSFPCache(), 1)}
 	e.set(p)
 	return e
 }
+
+// SetTraceSpan installs the span this evaluator's expensive operations
+// (RedundancyOpt cache misses) are recorded under as child spans; nil
+// disables recording. The span is per-Evaluator scratch — in a Concurrent
+// engine each worker carries its own — so callers swap it per phase the
+// way they swap problems.
+func (e *Evaluator) SetTraceSpan(s *obs.Span) { e.span = s }
+
+// TraceSpan returns the currently installed span (nil when disabled).
+func (e *Evaluator) TraceSpan() *obs.Span { return e.span }
+
+// SetMetrics installs the registry the engine's duration histograms
+// (evalengine.reexec, evalengine.sched, evalengine.redundancy_opt) are
+// recorded into; nil disables them. The registry is store-level state,
+// shared by every worker of a Concurrent engine.
+func (e *Evaluator) SetMetrics(r *obs.Registry) { e.st.setMetrics(r) }
+
+// MetricsRegistry returns the installed registry (nil when disabled).
+func (e *Evaluator) MetricsRegistry() *obs.Registry { return e.st.metrics }
 
 // Problem returns the problem the evaluator is currently bound to.
 func (e *Evaluator) Problem() redundancy.Problem { return e.prob }
@@ -92,10 +119,10 @@ func (e *Evaluator) Problem() redundancy.Problem { return e.prob }
 // Stats returns a snapshot of the instrumentation counters. When the
 // evaluator is a worker of a Concurrent engine the counters cover the
 // whole engine, not just this worker.
-func (e *Evaluator) Stats() Stats { return e.st.stats.snapshot() }
+func (e *Evaluator) Stats() Stats { return e.st.snapshotStats() }
 
 // ResetStats zeroes the instrumentation counters (the caches are kept).
-func (e *Evaluator) ResetStats() { e.st.stats.reset() }
+func (e *Evaluator) ResetStats() { e.st.resetStats() }
 
 // SetProblem rebinds the evaluator to p, invalidating exactly what the
 // change invalidates: a new application or re-execution cap drops
@@ -192,6 +219,7 @@ func appendInts(dst []byte, vals []int) []byte {
 func (e *Evaluator) Evaluate(mapping, levels []int) (*redundancy.Solution, error) {
 	st := e.st
 	st.stats.evaluations.Add(1)
+	st.perWorker[e.wid].evaluations.Add(1)
 	e.keyBuf = appendInts(appendInts(e.keyBuf[:0], levels), mapping)
 	key := string(e.keyBuf)
 	if sol, ok := st.sols.get(key); ok {
@@ -199,6 +227,7 @@ func (e *Evaluator) Evaluate(mapping, levels []int) (*redundancy.Solution, error
 		return sol, nil
 	}
 	st.stats.cacheMisses.Add(1)
+	st.perWorker[e.wid].cacheMisses.Add(1)
 	sol, err := e.evaluate(mapping, levels)
 	if err != nil {
 		return nil, err
@@ -219,6 +248,7 @@ func (e *Evaluator) evaluate(mapping, levels []int) (*redundancy.Solution, error
 	}
 	ks, reliable, err := redundancy.ReExecutionOptAnalysis(analysis, p.Goal, e.maxK())
 	e.st.stats.reExecNanos.Add(int64(time.Since(start)))
+	e.st.mReexec.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +264,7 @@ func (e *Evaluator) evaluate(mapping, levels []int) (*redundancy.Solution, error
 		Model:   p.Model,
 	}, &e.ws)
 	e.st.stats.schedNanos.Add(int64(time.Since(start)))
+	e.st.mSched.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -309,14 +340,27 @@ func (e *Evaluator) RedundancyOpt(mapping []int) (*redundancy.Solution, error) {
 		st.stats.optHits.Add(1)
 		return sol, nil
 	}
+	// Cache miss: the full hardening search runs. Only misses get a span —
+	// at ~20k opt requests per run the hits would drown the trace, while
+	// the ~1k misses are exactly where the time goes.
+	sp := e.span.Child("redundancy-opt", obs.Int("processes", len(mapping)))
+	start := time.Now()
 	q := e.prob
 	q.Mapping = mapping
 	sol, err := redundancy.RedundancyOptWith(q, func(levels []int) (*redundancy.Solution, error) {
 		return e.Evaluate(mapping, levels)
 	})
+	st.mOpt.Observe(time.Since(start))
 	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+		sp.End()
 		return nil, err
 	}
+	sp.SetAttr(
+		obs.Float("cost", sol.Cost),
+		obs.Bool("feasible", sol.Reliable && sol.Schedulable),
+	)
+	sp.End()
 	st.opts.put(key, sol)
 	return sol, nil
 }

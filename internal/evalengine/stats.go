@@ -4,7 +4,19 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// WorkerStats attributes a share of the engine-wide work to one worker of
+// a Concurrent engine.
+type WorkerStats struct {
+	// Evaluations counts Evaluate requests issued through this worker;
+	// CacheMisses of them computed the solution rather than finding it in
+	// the shared cache.
+	Evaluations int64
+	CacheMisses int64
+}
 
 // Stats are the engine's instrumentation counters. All counters are
 // cumulative since the engine was created (or ResetStats). The zero value
@@ -38,6 +50,10 @@ type Stats struct {
 	// goroutines, so they can exceed wall-clock elapsed time.
 	ReExecTime time.Duration
 	SchedTime  time.Duration
+	// PerWorker attributes Evaluations/CacheMisses to the individual
+	// workers of a Concurrent engine (index = worker id). Empty on
+	// single-worker engines.
+	PerWorker []WorkerStats
 }
 
 // HitRate returns the solution-cache hit fraction in [0, 1].
@@ -69,6 +85,38 @@ func (s *Stats) Add(o Stats) {
 	s.Invalidations += o.Invalidations
 	s.ReExecTime += o.ReExecTime
 	s.SchedTime += o.SchedTime
+	if len(o.PerWorker) > len(s.PerWorker) {
+		s.PerWorker = append(s.PerWorker, make([]WorkerStats, len(o.PerWorker)-len(s.PerWorker))...)
+	}
+	for i, w := range o.PerWorker {
+		s.PerWorker[i].Evaluations += w.Evaluations
+		s.PerWorker[i].CacheMisses += w.CacheMisses
+	}
+}
+
+// Publish folds the counters into an obs.Registry under evalengine.*
+// names. Call it once at the end of a run — the engine does not stream
+// counter updates into the registry, so publishing twice double-counts. A
+// nil registry is a no-op.
+func (s Stats) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("evalengine.evaluations").Add(s.Evaluations)
+	r.Counter("evalengine.cache_hits").Add(s.CacheHits)
+	r.Counter("evalengine.cache_misses").Add(s.CacheMisses)
+	r.Counter("evalengine.opt_runs").Add(s.OptRuns)
+	r.Counter("evalengine.opt_hits").Add(s.OptHits)
+	r.Counter("evalengine.schedule_builds").Add(s.ScheduleBuilds)
+	r.Counter("evalengine.sfp_builds").Add(s.SFPBuilds)
+	r.Counter("evalengine.sfp_hits").Add(s.SFPHits)
+	r.Counter("evalengine.invalidations").Add(s.Invalidations)
+	r.Counter("evalengine.reexec_ns").Add(int64(s.ReExecTime))
+	r.Counter("evalengine.sched_ns").Add(int64(s.SchedTime))
+	for i, w := range s.PerWorker {
+		r.Counter(fmt.Sprintf("evalengine.worker.%d.evaluations", i)).Add(w.Evaluations)
+		r.Counter(fmt.Sprintf("evalengine.worker.%d.cache_misses", i)).Add(w.CacheMisses)
+	}
 }
 
 // String renders the counters as the single-line summary printed by the

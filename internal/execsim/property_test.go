@@ -1,0 +1,74 @@
+package execsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+)
+
+// TestMakespanWithinAnalyzedBound is the property-based generalization of
+// TestSingleNodeGuarantee: for hundreds of seeded random applications on a
+// monoprocessor architecture (the domain where the shared-slack analysis
+// is sound — cross-node coupling is quantified separately by the E14
+// simulation study), every fault pattern within the node's budget must
+// finish within the scheduler's worst-case bound, under both slack
+// models. The dispatcher is work-conserving, so on a single node the
+// makespan is at most the sum of WCETs plus k worst-case recoveries —
+// exactly what sched.Build reserves.
+func TestMakespanWithinAnalyzedBound(t *testing.T) {
+	const apps = 240
+	sers := []float64{1e-12, 1e-11, 1e-10}
+	hpds := []float64{5, 25, 100}
+	models := []sched.SlackModel{sched.SlackShared, sched.SlackPerProcess}
+	for trial := 0; trial < apps; trial++ {
+		seed := int64(9000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		cfg := taskgen.DefaultConfig(seed, n, sers[rng.Intn(len(sers))], hpds[rng.Intn(len(hpds))])
+		inst, err := taskgen.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		node := &inst.Platform.Nodes[rng.Intn(len(inst.Platform.Nodes))]
+		ar := platform.NewArchitecture([]*platform.Node{node})
+		ar.Levels[0] = node.MinLevel() + rng.Intn(node.MaxLevel()-node.MinLevel()+1)
+		mapping := make([]int, inst.App.NumProcesses())
+		k := rng.Intn(4)
+		ks := []int{k}
+		for _, model := range models {
+			static, err := sched.Build(sched.Input{
+				App: inst.App, Arch: ar, Mapping: mapping, Ks: ks, Model: model,
+			})
+			if err != nil {
+				t.Fatalf("seed %d model %v: %v", seed, model, err)
+			}
+			// Several adversarial in-budget patterns per configuration:
+			// spend the whole budget on random processes (repeats allowed,
+			// concentrating all k faults on one process included).
+			for p := 0; p < 4; p++ {
+				faults := make([]int, len(mapping))
+				for f := 0; f < k; f++ {
+					faults[rng.Intn(len(faults))]++
+				}
+				res, err := Run(Input{
+					App: inst.App, Arch: ar, Mapping: mapping, Ks: ks,
+					Static: static, Faults: faults,
+				})
+				if err != nil {
+					t.Fatalf("seed %d model %v: %v", seed, model, err)
+				}
+				if res.BudgetExceeded {
+					t.Fatalf("seed %d model %v pattern %v: within-budget pattern flagged as overrun (k=%d)",
+						seed, model, faults, k)
+				}
+				if res.Makespan > static.Length+1e-9 {
+					t.Errorf("seed %d model %v pattern %v: makespan %v exceeds analyzed bound %v",
+						seed, model, faults, res.Makespan, static.Length)
+				}
+			}
+		}
+	}
+}

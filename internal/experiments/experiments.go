@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evalengine"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
 )
@@ -53,6 +54,12 @@ type Config struct {
 	// Graphs splits each generated application into this many task
 	// graphs (0 or 1 = single graph).
 	Graphs int
+	// Span, when non-nil, nests the harness's per-point and per-app spans
+	// (and the design runs under them) below it; Metrics receives the
+	// counters of every run. Both are optional observability hooks — see
+	// internal/obs.
+	Span    *obs.Span
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a configuration sized for minutes-scale runs.
@@ -102,6 +109,12 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 	if len(jobs) == 0 {
 		return nil, nil, fmt.Errorf("experiments: empty batch (Apps=%d, Procs=%v)", cfg.Apps, cfg.Procs)
 	}
+	ptSpan := cfg.Span.Child("acceptance",
+		obs.Float("ser", pt.SER),
+		obs.Float("hpd", pt.HPD),
+		obs.Float("arc", pt.ArC),
+		obs.Int("jobs", len(jobs)))
+	defer ptSpan.End()
 
 	counts := make(map[core.Strategy]int)
 	stats := make(map[core.Strategy]evalengine.Stats)
@@ -135,6 +148,10 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 				return
 			}
 			jobsStarted.Add(1)
+			appSpan := ptSpan.Child("app",
+				obs.Int64("seed", jb.seed),
+				obs.Int("processes", jb.procs))
+			defer appSpan.End()
 			gcfg := taskgen.DefaultConfig(jb.seed, jb.procs, pt.SER, pt.HPD)
 			gcfg.NumGraphs = cfg.Graphs
 			inst, err := taskgen.Generate(gcfg)
@@ -153,6 +170,8 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 					Model:         cfg.Model,
 					MappingParams: cfg.MappingParams,
 					Workers:       cfg.RunWorkers,
+					ParentSpan:    appSpan,
+					Metrics:       cfg.Metrics,
 				})
 				if err != nil {
 					record(err)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/evalengine"
+	"repro/internal/obs"
 	"repro/internal/taskgen"
 )
 
@@ -23,6 +24,9 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 			"cache hit", "opt hit", "sched builds", "sfp built/reused", "reexec", "sched"})
 	for _, n := range cfg.Procs {
 		for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
+			rowSpan := cfg.Span.Child("runtime-row",
+				obs.Int("processes", n),
+				obs.String("strategy", s.String()))
 			var total, max time.Duration
 			var archs, evals, runs int
 			var agg evalengine.Stats
@@ -30,6 +34,7 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 				seed := cfg.Seed + int64(i) + int64(n)*1000003
 				inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, n, ser, hpd))
 				if err != nil {
+					rowSpan.End()
 					return nil, err
 				}
 				start := time.Now()
@@ -38,8 +43,11 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 					Strategy:      s,
 					MappingParams: cfg.MappingParams,
 					Workers:       cfg.RunWorkers,
+					ParentSpan:    rowSpan,
+					Metrics:       cfg.Metrics,
 				})
 				if err != nil {
+					rowSpan.End()
 					return nil, err
 				}
 				elapsed := time.Since(start)
@@ -52,6 +60,8 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 				agg.Add(res.EvalStats)
 				runs++
 			}
+			rowSpan.SetAttr(obs.Int("runs", runs))
+			rowSpan.End()
 			if runs == 0 {
 				continue
 			}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/appmodel"
 	"repro/internal/evalengine"
+	"repro/internal/obs"
 	"repro/internal/redundancy"
 )
 
@@ -142,6 +143,25 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 		return nil, fmt.Errorf("mapping: architecture has no nodes")
 	}
 
+	// The whole search runs under one span (child of whatever scope the
+	// caller installed on the evaluator), and the evaluator carries the
+	// innermost open scope so RedundancyOpt cache misses nest correctly.
+	parentSpan := ev.TraceSpan()
+	span := parentSpan.Child("mapping.optimize",
+		obs.String("cost_function", cf.String()),
+		obs.Int("tabu_tenure", params.TabuTenure),
+		obs.Int("max_no_improve", params.MaxNoImprove),
+		obs.Int("processes", n),
+		obs.Int("nodes", numNodes))
+	ev.SetTraceSpan(span)
+	defer func() {
+		ev.SetTraceSpan(parentSpan)
+		span.End()
+	}()
+	reg := ev.MetricsRegistry()
+	iterCtr := reg.Counter("mapping.iterations")
+	moveCtr := reg.Counter("mapping.moves")
+
 	cur := make([]int, n)
 	if initial != nil {
 		if len(initial) != n {
@@ -208,6 +228,13 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 			break // no candidates (empty critical path)
 		}
 		evals += len(trials)
+		iterCtr.Add(1)
+		moveCtr.Add(int64(len(trials)))
+		iterSpan := span.Child("iteration",
+			obs.Int("iter", iter),
+			obs.Int("critical_path", len(cands)),
+			obs.Int("neighborhood", len(trials)))
+		ev.SetTraceSpan(iterSpan)
 		var sols []*redundancy.Solution
 		if batch != nil && len(trials) > 1 {
 			sols, err = batch(trials)
@@ -219,7 +246,9 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 				}
 			}
 		}
+		ev.SetTraceSpan(span)
 		if err != nil {
+			iterSpan.End()
 			return nil, err
 		}
 		// Move ordering: objective first, then the waiting priority of
@@ -271,7 +300,13 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 		tabu[chosen.pid] = params.TabuTenure
 		waiting[chosen.pid] = 0
 
-		if lessObj(chosen.obj, bestObj) {
+		improved := lessObj(chosen.obj, bestObj)
+		iterSpan.SetAttr(
+			obs.Int("moved_process", int(chosen.pid)),
+			obs.Int("to_node", chosen.node),
+			obs.Bool("improved", improved))
+		iterSpan.End()
+		if improved {
 			best = &Result{Mapping: append([]int(nil), cur...), Solution: curSol}
 			bestObj = chosen.obj
 			noImprove = 0
@@ -280,6 +315,11 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 		}
 	}
 	best.Evaluations = evals
+	span.SetAttr(
+		obs.Int("evaluations", evals),
+		obs.Bool("feasible", best.Solution.Feasible()),
+		obs.Float("schedule_length", best.Solution.Schedule.Length),
+		obs.Float("cost", best.Solution.Cost))
 	return best, nil
 }
 
@@ -360,6 +400,7 @@ func criticalPath(pred [][]appmodel.Edge, mapping []int, sol *redundancy.Solutio
 // each is placed on the node that yields the earliest estimated finish at
 // minimum hardening (a HEFT-style seed).
 func GreedyInitial(ev *evalengine.Evaluator) ([]int, error) {
+	defer ev.TraceSpan().Child("greedy-initial").End()
 	p := ev.Problem()
 	app := p.App
 	order, err := app.TopoOrder()

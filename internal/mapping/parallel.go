@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/evalengine"
+	"repro/internal/obs"
 	"repro/internal/redundancy"
 )
 
@@ -40,7 +41,15 @@ func evalTrials(ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Soluti
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
+	// Per-worker spans attribute the batch's cache misses to the worker
+	// that computed them; they are concurrent siblings under worker 0's
+	// current scope (the tabu iteration), so the trace shows the fan-out.
+	parent := ce.Worker(0).TraceSpan()
+	prev0 := parent
+	spans := make([]*obs.Span, w)
 	for i := 0; i < w; i++ {
+		spans[i] = parent.Child("worker", obs.Int("wid", i))
+		ce.Worker(i).SetTraceSpan(spans[i])
 		wg.Add(1)
 		go func(ev *evalengine.Evaluator) {
 			defer wg.Done()
@@ -60,6 +69,11 @@ func evalTrials(ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Soluti
 		}(ce.Worker(i))
 	}
 	wg.Wait()
+	for i, sp := range spans {
+		ce.Worker(i).SetTraceSpan(nil)
+		sp.End()
+	}
+	ce.Worker(0).SetTraceSpan(prev0)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

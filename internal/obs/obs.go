@@ -1,0 +1,291 @@
+// Package obs is the observability layer of the optimization stack: a
+// zero-dependency, concurrency-safe tracer producing hierarchical spans
+// exportable as Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing), plus a registry of named counters and duration
+// histograms (metrics.go).
+//
+// The deeply nested design-space exploration — architecture exploration →
+// tabu-search mapping → RedundancyOpt → shared-slack scheduling — has
+// counters (evalengine.Stats) but no way to see *where time goes* inside a
+// run. Spans answer that: one span per candidate architecture, per mapping
+// optimization, per tabu iteration and per RedundancyOpt cache miss turn a
+// `paperbench -fig cc -trace cc.json` run into a browsable flame view.
+// The span taxonomy is documented in DESIGN.md ("Observability").
+//
+// # Disabled by default, free when disabled
+//
+// Every method is safe on a nil receiver: a nil *Tracer starts nil
+// *Spans, whose Child/SetAttr/End are no-ops. Instrumented hot paths
+// therefore call the API unconditionally and pay only a nil check when no
+// tracer is installed (BenchmarkDisabledSpan; the instrumented
+// BenchmarkCruiseController is within noise of the uninstrumented
+// baseline).
+//
+// # Concurrency
+//
+// A Tracer may be shared by any number of goroutines: starting children,
+// ending spans and exporting are all guarded by one mutex. An individual
+// Span is owned by the goroutine that started it — SetAttr must not race
+// with End — which matches how the search stack hands per-worker spans to
+// per-worker evaluators.
+//
+// # Chrome trace_event mapping
+//
+// Spans are exported as complete ("X") events. chrome://tracing and
+// Perfetto nest events on the same (pid, tid) track by time containment,
+// so the tracer assigns each span a lane (exported as the tid): a child
+// started while its parent is the innermost open span of its lane shares
+// the parent's lane, and concurrent siblings get their own lanes —
+// exactly the flame-graph layout a reader expects. The true parent
+// relationship is preserved in args.parent_id regardless of lane
+// placement, which is what the export tests assert nesting against.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values must be JSON
+// encodable; the constructors below cover the types the stack uses.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String returns a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, Value: v} }
+
+// Int returns an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: v} }
+
+// Int64 returns a 64-bit integer attribute.
+func Int64(key string, v int64) Attr { return Attr{Key: key, Value: v} }
+
+// Float returns a floating-point attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Value: v} }
+
+// Bool returns a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Value: v} }
+
+// Tracer records hierarchical spans. The zero value is not usable; create
+// one with NewTracer. A nil *Tracer is the disabled tracer: Start returns
+// a nil *Span and recording costs nothing.
+type Tracer struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []Event
+	// lanes[l] is the stack of open spans occupying lane l, innermost
+	// last. Lanes map to Chrome tids so that viewers reconstruct the
+	// flame graph by time containment (see the package comment).
+	lanes  [][]*Span
+	nextID int64
+}
+
+// NewTracer returns an enabled tracer whose clock starts now.
+func NewTracer() *Tracer { return &Tracer{t0: time.Now()} }
+
+// Span is one timed region of a trace. A nil *Span is the disabled span:
+// all methods are no-ops and Child returns nil.
+type Span struct {
+	tr     *Tracer
+	name   string
+	id     int64
+	parent int64
+	lane   int
+	start  time.Duration
+	attrs  []Attr
+	ended  bool
+}
+
+// Start begins a root span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(nil, name, attrs)
+}
+
+// Child begins a span nested under s. It is safe to start children of the
+// same parent from several goroutines.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(s, name, attrs)
+}
+
+// SetAttr appends annotations to the span. It must be called by the
+// goroutine that owns the span, before End (attributes set after End are
+// dropped).
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	s.tr.mu.Unlock()
+}
+
+// End completes the span and records its event. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	t.releaseLane(s)
+	t.events = append(t.events, s.event(now))
+}
+
+func (t *Tracer) start(parent *Span, name string, attrs []Attr) *Span {
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Span{tr: t, name: name, id: t.nextID, start: now, attrs: attrs}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	s.lane = t.acquireLane(parent)
+	t.lanes[s.lane] = append(t.lanes[s.lane], s)
+	return s
+}
+
+// acquireLane picks the lane for a new span: the parent's lane when the
+// parent is the innermost open span there (sequential nesting), otherwise
+// the lowest-numbered free lane (concurrent sibling or root).
+func (t *Tracer) acquireLane(parent *Span) int {
+	if parent != nil && !parent.ended {
+		st := t.lanes[parent.lane]
+		if len(st) > 0 && st[len(st)-1] == parent {
+			return parent.lane
+		}
+	}
+	for l, st := range t.lanes {
+		if len(st) == 0 {
+			return l
+		}
+	}
+	t.lanes = append(t.lanes, nil)
+	return len(t.lanes) - 1
+}
+
+// releaseLane removes s from its lane stack. Spans normally end innermost
+// first; an out-of-order End is tolerated by removing from anywhere in the
+// stack.
+func (t *Tracer) releaseLane(s *Span) {
+	st := t.lanes[s.lane]
+	for i := len(st) - 1; i >= 0; i-- {
+		if st[i] == s {
+			t.lanes[s.lane] = append(st[:i], st[i+1:]...)
+			return
+		}
+	}
+}
+
+// Event is one Chrome trace_event entry. TS and Dur are microseconds
+// since the tracer's start, the unit the trace_event format specifies.
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func (s *Span) event(end time.Duration) Event {
+	args := make(map[string]any, len(s.attrs)+2)
+	args["span_id"] = s.id
+	if s.parent != 0 {
+		args["parent_id"] = s.parent
+	}
+	for _, a := range s.attrs {
+		args[a.Key] = a.Value
+	}
+	return Event{
+		Name: s.name,
+		Ph:   "X",
+		TS:   micros(s.start),
+		Dur:  micros(end - s.start),
+		PID:  1,
+		TID:  s.lane + 1,
+		Args: args,
+	}
+}
+
+// chromeTrace is the JSON object format of the trace_event specification;
+// both chrome://tracing and Perfetto load it.
+type chromeTrace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Events returns a snapshot of the completed spans' events in start
+// order, with still-open spans included as if they ended now (flagged
+// with an "unfinished" arg). Primarily for tests and exporters.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	evs := append([]Event(nil), t.events...)
+	for _, st := range t.lanes {
+		for _, s := range st {
+			ev := s.event(now)
+			ev.Args["unfinished"] = true
+			evs = append(evs, ev)
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].TS < evs[b].TS })
+	return evs
+}
+
+// SpanCount returns how many spans have been recorded (completed or
+// open).
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.events)
+	for _, st := range t.lanes {
+		n += len(st)
+	}
+	return n
+}
+
+// WriteChromeTrace writes the trace as Chrome trace_event JSON. A nil
+// tracer writes an empty (still valid) trace. Open spans are exported as
+// if they ended now, flagged unfinished, so a trace written mid-run loses
+// nothing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: write chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package sfp_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultsim"
+	"repro/internal/sfp"
+)
+
+// tolerance returns the acceptance band for comparing an empirical failure
+// frequency against the analytic probability ana over n samples: four
+// binomial standard deviations (ana is the true parameter under the null
+// hypothesis that the analysis is exact) plus a 9/n Poisson floor so that
+// configurations whose expected failure count is below one — where the
+// normal approximation collapses — still get a meaningful band instead of
+// a near-zero one.
+func tolerance(ana float64, n int) float64 {
+	return 4*math.Sqrt(ana*(1-ana)/float64(n)) + 9/float64(n)
+}
+
+// TestMonteCarloAgreesWithAnalysis sweeps a seeded (SER, hardening level,
+// k) grid, derives the per-process failure probabilities exactly as the
+// experiment generator does (faultsim.DeriveFailProb), and checks that the
+// fault-injection campaign's empirical system failure probability matches
+// the analytic SFP within a confidence band derived from the sample count
+// — no hard-coded tolerances. This covers both the measurable regime
+// (unhardened nodes, p ~ 10^-2) and the rare-event regime (hardened
+// nodes, where the empirical count is near zero and the Poisson floor
+// carries the comparison).
+func TestMonteCarloAgreesWithAnalysis(t *testing.T) {
+	const iterations = 200_000
+	sers := []float64{1e-9, 1e-8}
+	levels := []int{1, 2, 3}
+	ks := []int{0, 1, 2, 3}
+	for si, ser := range sers {
+		for _, level := range levels {
+			for _, k := range ks {
+				name := fmt.Sprintf("ser=%.0e/h=%d/k=%d", ser, level, k)
+				t.Run(name, func(t *testing.T) {
+					seed := int64(si*1000 + level*100 + k)
+					rng := rand.New(rand.NewSource(seed))
+					m := 3 + rng.Intn(4)
+					probs := make([]float64, m)
+					for i := range probs {
+						wcet := 1 + 19*rng.Float64() // the generator's 1..20 ms range
+						probs[i] = faultsim.DeriveFailProb(wcet,
+							faultsim.DefaultCyclesPerMs, ser, level,
+							faultsim.DefaultReductionPerLevel)
+					}
+					node, err := sfp.NewNode(probs, 8)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ana := sfp.SystemFailureProb([]float64{node.FailureProb(k)})
+
+					camp := faultsim.Campaign{
+						NodeProbs:  [][]float64{probs},
+						Ks:         []int{k},
+						Iterations: iterations,
+						Seed:       seed + 7,
+					}
+					res, err := camp.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					emp := res.FailureProb()
+					if tol := tolerance(ana, iterations); math.Abs(emp-ana) > tol {
+						t.Errorf("analytic %v vs empirical %v: |diff| %v > tol %v (probs %v)",
+							ana, emp, math.Abs(emp-ana), tol, probs)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMonteCarloAgreesOnMultiNodeSystems repeats the comparison for
+// two-node systems assembled from the grid: the union formula (5) must
+// match the campaign's system-level frequency, again within the
+// sample-derived band.
+func TestMonteCarloAgreesOnMultiNodeSystems(t *testing.T) {
+	const iterations = 200_000
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4000 + trial)))
+			nodeProbs := make([][]float64, 2)
+			ks := make([]int, 2)
+			fails := make([]float64, 2)
+			for j := range nodeProbs {
+				ser := []float64{1e-9, 1e-8}[rng.Intn(2)]
+				level := 1 + rng.Intn(2)
+				ks[j] = rng.Intn(3)
+				m := 2 + rng.Intn(4)
+				probs := make([]float64, m)
+				for i := range probs {
+					probs[i] = faultsim.DeriveFailProb(1+19*rng.Float64(),
+						faultsim.DefaultCyclesPerMs, ser, level,
+						faultsim.DefaultReductionPerLevel)
+				}
+				node, err := sfp.NewNode(probs, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fails[j] = node.FailureProb(ks[j])
+				nodeProbs[j] = probs
+			}
+			ana := sfp.SystemFailureProb(fails)
+
+			camp := faultsim.Campaign{
+				NodeProbs:  nodeProbs,
+				Ks:         ks,
+				Iterations: iterations,
+				Seed:       int64(8000 + trial),
+			}
+			res, err := camp.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			emp := res.FailureProb()
+			if tol := tolerance(ana, iterations); math.Abs(emp-ana) > tol {
+				t.Errorf("analytic %v vs empirical %v: |diff| %v > tol %v",
+					ana, emp, math.Abs(emp-ana), tol)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package tgff
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes into the TGFF reader. Invariants:
+// Parse never panics; accepted documents carry only finite positive
+// periods and deadlines; Write∘Parse round-trips to an identical
+// document; and the Application conversion never panics on a parsed
+// file (it may reject it with an error).
+func FuzzParse(f *testing.F) {
+	f.Add("@TASK_GRAPH 0 {\n\tPERIOD 120\n\tTASK t0 TYPE 0\n\tTASK t1 TYPE 1\n\tARC a0 FROM t0 TO t1 TYPE 0\n\tHARD_DEADLINE d0 ON t1 AT 100\n}\n")
+	f.Add("# comment only\n")
+	f.Add("@TASK_GRAPH 1 {\n}\n")
+	f.Add("@TASK_GRAPH 2 {\n\tPERIOD NaN\n}\n")
+	f.Add("@TASK_GRAPH 3 {\n\tTASK t TYPE 0\n\tHARD_DEADLINE d ON t AT +Inf\n}\n")
+	f.Add("@TASK_GRAPH 4 {\n\tPERIOD 1e309\n}\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, g := range parsed.Graphs {
+			if g.Period != 0 && !(g.Period > 0 && !math.IsInf(g.Period, 1)) {
+				t.Fatalf("accepted period %v", g.Period)
+			}
+			for _, d := range g.Deadlines {
+				if !(d.At > 0 && !math.IsInf(d.At, 1)) {
+					t.Fatalf("accepted deadline %v", d.At)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := parsed.Write(&buf); err != nil {
+			t.Fatalf("write accepted file: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written file failed: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(parsed, again) {
+			t.Fatalf("round trip changed the document:\n%#v\nvs\n%#v", parsed, again)
+		}
+		// Conversion may reject (dangling arcs, missing deadlines, cycles)
+		// but must not panic.
+		_, _ = parsed.Application("fuzz", Options{})
+	})
+}

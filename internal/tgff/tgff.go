@@ -23,6 +23,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -108,7 +109,7 @@ func Parse(r io.Reader) (*File, error) {
 				return nil, fmt.Errorf("tgff:%d: want \"PERIOD <ms>\"", lineNo)
 			}
 			v, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil || v <= 0 {
+			if err != nil || !(v > 0) || math.IsInf(v, 1) {
 				return nil, fmt.Errorf("tgff:%d: bad period %q", lineNo, fields[1])
 			}
 			cur.Period = v
@@ -147,7 +148,7 @@ func Parse(r io.Reader) (*File, error) {
 				return nil, fmt.Errorf("tgff:%d: want \"HARD_DEADLINE <name> ON <task> AT <ms>\"", lineNo)
 			}
 			at, err := strconv.ParseFloat(fields[5], 64)
-			if err != nil || at <= 0 {
+			if err != nil || !(at > 0) || math.IsInf(at, 1) {
 				return nil, fmt.Errorf("tgff:%d: bad deadline %q", lineNo, fields[5])
 			}
 			cur.Deadlines = append(cur.Deadlines, Deadline{Name: fields[1], On: fields[3], At: at})
