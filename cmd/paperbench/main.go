@@ -10,6 +10,9 @@
 //	paperbench -fig cc -md        # Markdown tables
 //	paperbench -fig 6a -cpuprofile cpu.pprof  # profile the run
 //	paperbench -fig cc -run-workers 4         # parallelize inside each run
+//	paperbench -fig 6b -serve :8080 -progress # watch a long sweep live
+//	paperbench -fig cc -log json              # structured logs on stderr
+//	paperbench -fig cc -bench-json bench.json # machine-readable record
 //
 // Figures: 6a–6d (the paper's acceptance sweeps), cc (cruise controller),
 // policies (re-execution vs checkpointing vs replication), simulation
@@ -20,25 +23,50 @@
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // figures, for `go tool pprof`.
 //
+// Live introspection: -serve ADDR exposes /metrics (Prometheus text
+// exposition), /progress (JSON), /trace (Chrome trace snapshot),
+// /healthz, /debug/vars and /debug/pprof for the duration of the run;
+// -progress renders a throttled status line on stderr. Both are
+// observation-only: the tables are byte-identical with or without them.
+//
+// All diagnostics (-progress, -log, -metrics, the -serve banner) go to
+// stderr or to files; stdout carries only the tables, so redirecting it
+// stays golden-comparable.
+//
 // Absolute acceptance percentages depend on the synthetic workload
 // calibration; the comparisons that matter are the relative ones (see
 // EXPERIMENTS.md).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 )
+
+// stderr is where diagnostics (-progress, -log, -metrics, the -serve
+// banner) go; a variable so tests can capture it.
+var stderr io.Writer = os.Stderr
+
+// testServeHook, when non-nil, receives the bound -serve address before
+// the figures run; tests use it to scrape the endpoints mid-run.
+var testServeHook func(addr string)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -59,18 +87,36 @@ func run(args []string, w io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the selected figures to this file")
 	trace := fs.String("trace", "", "write a Chrome trace_event JSON of the selected figures to this file (load in Perfetto or chrome://tracing)")
-	metrics := fs.Bool("metrics", false, "print the observability counters and duration histograms after the run")
+	metrics := fs.Bool("metrics", false, "print the observability counters and duration histograms to stderr after the run")
+	metricsOut := fs.String("metrics-out", "", "write the observability counters to this file instead of stderr (implies -metrics)")
+	serve := fs.String("serve", "", "serve live introspection on this address (e.g. :8080 or 127.0.0.1:0) for the duration of the run: /metrics, /progress, /trace, /healthz, /debug/vars, /debug/pprof")
+	serveWait := fs.Bool("serve-wait", false, "with -serve: keep the introspection server up after the run until SIGINT/SIGTERM, so the final counters can still be scraped")
+	progress := fs.Bool("progress", false, "render a live progress status line on stderr")
+	logFormat := fs.String("log", "", "emit structured logs on stderr: text or json")
+	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
+	benchJSON := fs.String("bench-json", "", "write a machine-readable benchmark record (figures, wall times, counters, version) to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var tracer *obs.Tracer
-	if *trace != "" {
+	if *trace != "" || *serve != "" {
 		tracer = obs.NewTracer()
 	}
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *metricsOut != "" || *serve != "" || *benchJSON != "" {
 		reg = obs.NewRegistry()
+	}
+	var prog *obs.Progress
+	if *progress || *serve != "" {
+		prog = obs.NewProgress()
+	}
+	lg, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *serveWait && *serve == "" {
+		return fmt.Errorf("-serve-wait requires -serve")
 	}
 
 	if *cpuprofile != "" {
@@ -99,7 +145,25 @@ func run(args []string, w io.Writer) error {
 		}()
 	}
 
-	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers, RunWorkers: *runWorkers, Metrics: reg}
+	if *serve != "" {
+		srv, err := obshttp.Serve(*serve, obshttp.Options{Registry: reg, Progress: prog, Tracer: tracer})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "paperbench: serving live introspection on %s\n", srv.URL())
+		lg.Info("introspection server up", "url", srv.URL())
+		if testServeHook != nil {
+			testServeHook(srv.Addr())
+		}
+	}
+	if *progress {
+		stop := renderProgress(prog, stderr)
+		defer stop()
+	}
+
+	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers, RunWorkers: *runWorkers,
+		Metrics: reg, Progress: prog, Log: lg}
 	for _, tok := range splitInts(*procs) {
 		cfg.Procs = append(cfg.Procs, tok)
 	}
@@ -136,7 +200,7 @@ func run(args []string, w io.Writer) error {
 		"6b": {"Fig. 6b", table(experiments.Fig6b)},
 		"6c": {"Fig. 6c", table(experiments.Fig6c)},
 		"6d": {"Fig. 6d", table(experiments.Fig6d)},
-		"cc": {"Cruise controller", func() error { return runCC(w, render, *runWorkers, figSpan, reg) }},
+		"cc": {"Cruise controller", func() error { return runCC(w, render, *runWorkers, figSpan, reg, prog, lg) }},
 		"runtime": {"Strategy runtime", func() error {
 			t, err := experiments.RuntimeStudy(cfg, 1e-11, 25)
 			if err != nil {
@@ -201,6 +265,11 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown figure %q (want 6a, 6b, 6c, 6d, cc, policies, simulation, runtime, ablation or all)", *fig)
 	}
 
+	type figTiming struct {
+		Fig    string  `json:"fig"`
+		WallMs float64 `json:"wall_ms"`
+	}
+	var timings []figTiming
 	for i, name := range selected {
 		if i > 0 {
 			fmt.Fprintln(w)
@@ -208,15 +277,20 @@ func run(args []string, w io.Writer) error {
 		start := time.Now()
 		figSpan = tracer.Start("fig." + name)
 		cfg.Span = figSpan
+		lg.Info("figure start", "fig", name, "span", figSpan.ID())
 		err := jobs[name].run()
 		figSpan.End()
+		elapsed := time.Since(start)
 		if err != nil {
+			lg.Error("figure failed", "fig", name, "err", err.Error(), "span", figSpan.ID())
 			return fmt.Errorf("%s: %w", jobs[name].name, err)
 		}
-		fmt.Fprintf(w, "(%s regenerated in %v)\n", jobs[name].name, time.Since(start).Round(time.Millisecond))
+		lg.Info("figure done", "fig", name, "elapsed", elapsed, "span", figSpan.ID())
+		timings = append(timings, figTiming{Fig: name, WallMs: float64(elapsed) / float64(time.Millisecond)})
+		fmt.Fprintf(w, "(%s regenerated in %v)\n", jobs[name].name, elapsed.Round(time.Millisecond))
 	}
 
-	if tracer != nil {
+	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
 			return fmt.Errorf("-trace: %w", err)
@@ -230,24 +304,168 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "(trace: %d spans written to %s)\n", tracer.SpanCount(), *trace)
 	}
-	if reg != nil {
-		fmt.Fprintln(w)
-		fmt.Fprintln(w, "metrics:")
-		if err := reg.WriteText(w); err != nil {
+	// The counter dump goes to stderr (or a file), never stdout: stdout
+	// carries only the golden-compared tables.
+	if *metrics || *metricsOut != "" {
+		mw := stderr
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return fmt.Errorf("-metrics-out: %w", err)
+			}
+			defer f.Close()
+			mw = f
+		}
+		fmt.Fprintln(mw, "metrics:")
+		if err := reg.WriteText(mw); err != nil {
 			return err
 		}
+	}
+	if *benchJSON != "" {
+		rec := struct {
+			Version   string       `json:"version"`
+			GoVersion string       `json:"go_version"`
+			Figures   []figTiming  `json:"figures"`
+			TotalMs   float64      `json:"total_ms"`
+			Metrics   obs.Snapshot `json:"metrics"`
+		}{
+			Version:   buildVersion(),
+			GoVersion: runtime.Version(),
+			Figures:   timings,
+			Metrics:   reg.Snapshot(),
+		}
+		for _, ft := range timings {
+			rec.TotalMs += ft.WallMs
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			return fmt.Errorf("-bench-json: %w", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rec)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("-bench-json: %w", err)
+		}
+	}
+	if *serveWait {
+		fmt.Fprintln(stderr, "paperbench: run complete; serving until interrupted (-serve-wait)")
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
 	}
 	return nil
 }
 
-// runCC reproduces the cruise-controller case study. span and reg are the
-// optional observability hooks (nil disables them): the three design runs
-// nest under span and fold their counters into reg.
-func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int, span *obs.Span, reg *obs.Registry) error {
+// newLogger builds the stderr structured logger selected by -log and
+// -log-level ("" format = logging disabled).
+func newLogger(format, level string) (*obs.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	switch format {
+	case "":
+		return nil, nil
+	case "text":
+		return obs.NewTextLogger(stderr, lvl), nil
+	case "json":
+		return obs.NewJSONLogger(stderr, lvl), nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text or json)", format)
+	}
+}
+
+// buildVersion derives a git-describable version from the build info
+// stamped by the Go toolchain ("unknown" outside a VCS build).
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, modified := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			return bi.Main.Version
+		}
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if modified {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// renderProgress starts the throttled stderr status-line renderer and
+// returns a function that stops it and clears the line.
+func renderProgress(p *obs.Progress, w io.Writer) (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		width := 0
+		for {
+			select {
+			case <-stopCh:
+				if width > 0 {
+					fmt.Fprintf(w, "\r%*s\r", width, "")
+				}
+				return
+			case <-tick.C:
+				line := p.Status().StatusLine()
+				if line == "" {
+					continue
+				}
+				if len(line) > 160 {
+					line = line[:160]
+				}
+				if len(line) > width {
+					width = len(line)
+				}
+				fmt.Fprintf(w, "\r%-*s", width, line)
+			}
+		}
+	}()
+	return func() { close(stopCh); <-done }
+}
+
+// runCC reproduces the cruise-controller case study. span, reg, prog and
+// lg are the optional observability hooks (nil disables each): the three
+// design runs nest under span, fold their counters into reg, tick the
+// "cc.strategies" progress phase and log per-run records.
+func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int, span *obs.Span, reg *obs.Registry, prog *obs.Progress, lg *obs.Logger) error {
 	inst, err := cc.Instance()
 	if err != nil {
 		return err
 	}
+	ph := prog.Phase("cc.strategies")
+	ph.SetTotal(3)
+	defer ph.Done()
 	t := experiments.NewTable("Cruise controller (32 processes on ETM/ABS/TCM, D=300 ms, rho=1-1.2e-5)",
 		[]string{"strategy", "feasible", "cost", "schedule length (ms)"})
 	var maxCost, optCost float64
@@ -259,10 +477,14 @@ func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int, s
 	for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
 		res, err := core.Run(inst.App, inst.Platform, core.Options{
 			Goal: inst.Goal, Strategy: s, Workers: runWorkers,
-			ParentSpan: span, Metrics: reg,
+			ParentSpan: span, Metrics: reg, Progress: prog, Log: lg,
 		})
 		if err != nil {
 			return err
+		}
+		ph.Add(1)
+		if res.Feasible {
+			ph.Best(res.Cost)
 		}
 		row := []string{s.String(), fmt.Sprint(res.Feasible), "-", "-"}
 		if res.Feasible {

@@ -31,8 +31,9 @@ func TestTraceFlag(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "cc.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
 	var traced, plain strings.Builder
-	if err := run([]string{"-fig", "cc", "-trace", path, "-metrics"}, &traced); err != nil {
+	if err := run([]string{"-fig", "cc", "-trace", path, "-metrics-out", metricsPath}, &traced); err != nil {
 		t.Fatal(err)
 	}
 	if err := run([]string{"-fig", "cc"}, &plain); err != nil {
@@ -119,17 +120,14 @@ func TestTraceFlag(t *testing.T) {
 
 	// Instrumentation must not change the reported results: the tables and
 	// summary lines of the traced run match the plain run (the traced run
-	// additionally prints the trace/metrics report, and timing lines
-	// differ).
+	// additionally prints the trace report, and timing lines differ; the
+	// metrics dump goes to -metrics-out, never stdout).
 	keep := func(s string) string {
 		var sb strings.Builder
 		for _, line := range strings.Split(s, "\n") {
 			if strings.Contains(line, "evaluator:") || strings.Contains(line, "regenerated in") ||
 				strings.Contains(line, "trace:") {
 				continue
-			}
-			if strings.Contains(line, "metrics:") {
-				break // metrics dump is appended after all tables
 			}
 			sb.WriteString(line)
 			sb.WriteString("\n")
@@ -140,11 +138,20 @@ func TestTraceFlag(t *testing.T) {
 		t.Errorf("-trace changed the tables:\n--- traced ---\n%s\n--- plain ---\n%s",
 			traced.String(), plain.String())
 	}
-	// The metrics dump itself must report the run's headline counters.
-	for _, want := range []string{"core.runs 3", "evalengine.evaluations", "mapping.iterations", "core.run count=3"} {
-		if !strings.Contains(traced.String(), want) {
-			t.Errorf("metrics dump missing %q", want)
+	// The metrics dump (in its own file) must report the run's headline
+	// counters and the live gauges.
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"core.runs 3", "evalengine.evaluations", "mapping.iterations",
+		"core.run count=3", "evalengine.live.cache_entries"} {
+		if !strings.Contains(string(mdata), want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, mdata)
 		}
+	}
+	if strings.Contains(traced.String(), "metrics:") {
+		t.Error("metrics dump leaked into stdout")
 	}
 }
 

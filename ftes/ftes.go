@@ -33,12 +33,16 @@
 package ftes
 
 import (
+	"io"
+	"log/slog"
+
 	"repro/internal/appmodel"
 	"repro/internal/core"
 	"repro/internal/evalengine"
 	"repro/internal/faultsim"
 	"repro/internal/mapping"
 	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
 	"repro/internal/sched"
@@ -266,18 +270,31 @@ func Run(app *Application, pl *Platform, opts Options) (*Result, error) {
 }
 
 // Observability (internal/obs): hierarchical spans exportable as Chrome
-// trace_event JSON and a registry of counters and duration histograms.
+// trace_event JSON, a registry of counters, gauges and duration
+// histograms, a live-progress publisher, and a structured logger.
 // Install a Tracer via Options.Tracer (or a parent span via
-// Options.ParentSpan) and a Metrics registry via Options.Metrics; nil
-// disables recording at no cost. The span taxonomy is documented in
-// DESIGN.md.
+// Options.ParentSpan), a Metrics registry via Options.Metrics, a
+// Progress publisher via Options.Progress and a Logger via Options.Log;
+// nil disables each at no cost. The span taxonomy and live-introspection
+// endpoints are documented in DESIGN.md.
 type (
 	// Tracer records hierarchical spans; export with WriteChromeTrace.
 	Tracer = obs.Tracer
 	// Span is one timed region of a trace.
 	Span = obs.Span
-	// Metrics is a registry of named counters and duration histograms.
+	// Metrics is a registry of named counters, gauges and duration
+	// histograms.
 	Metrics = obs.Registry
+	// Progress is the concurrency-safe live-progress publisher: named
+	// phases with current/total counters, best cost and a moving-rate ETA.
+	Progress = obs.Progress
+	// ProgressStatus is a point-in-time snapshot of every phase.
+	ProgressStatus = obs.ProgressStatus
+	// Logger is the nil-safe structured logger (log/slog-backed).
+	Logger = obs.Logger
+	// IntrospectionServer serves live state over HTTP; see
+	// ServeIntrospection.
+	IntrospectionServer = obshttp.Server
 )
 
 // NewTracer returns an enabled tracer whose clock starts now.
@@ -285,6 +302,27 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 
 // NewMetrics returns an empty, enabled metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewProgress returns an enabled, empty live-progress publisher.
+func NewProgress() *Progress { return obs.NewProgress() }
+
+// NewTextLogger returns a Logger emitting human-readable key=value lines
+// at or above level to w.
+func NewTextLogger(w io.Writer, level slog.Leveler) *Logger { return obs.NewTextLogger(w, level) }
+
+// NewJSONLogger returns a Logger emitting one JSON object per record at
+// or above level to w.
+func NewJSONLogger(w io.Writer, level slog.Leveler) *Logger { return obs.NewJSONLogger(w, level) }
+
+// ServeIntrospection starts an HTTP server on addr (e.g. ":8080", or
+// "127.0.0.1:0" for an ephemeral port) exposing the given instruments
+// live: /metrics (Prometheus text exposition), /progress (JSON),
+// /trace (Chrome trace_event JSON), /healthz, /debug/vars (expvar) and
+// /debug/pprof. Any instrument may be nil. Close the returned server
+// when done.
+func ServeIntrospection(addr string, tracer *Tracer, metrics *Metrics, progress *Progress) (*IntrospectionServer, error) {
+	return obshttp.Serve(addr, obshttp.Options{Registry: metrics, Progress: progress, Tracer: tracer})
+}
 
 // Synthetic workloads (Section 7).
 type (

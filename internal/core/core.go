@@ -94,6 +94,16 @@ type Options struct {
 	// Metrics, when non-nil, receives the run's counters (core.*,
 	// evalengine.*, mapping.*) and duration histograms.
 	Metrics *obs.Registry
+	// Progress, when non-nil, receives live progress: the run ticks the
+	// "core.archs" phase per candidate architecture (with the best cost so
+	// far), and the tabu search below it ticks "mapping.iterations". Like
+	// the other observability hooks it is observation-only — nothing in
+	// the search reads it — so publication cannot alter results.
+	Progress *obs.Progress
+	// Log, when non-nil, receives structured log records: one info line
+	// per finished run and a debug line per candidate architecture, with
+	// span IDs so lines correlate with the trace. nil logs nothing.
+	Log *obs.Logger
 }
 
 // runSpan opens the root span of one design run.
@@ -120,6 +130,19 @@ func (o Options) publish(res *Result, elapsed time.Duration) {
 	r.Counter("core.evaluations").Add(int64(res.Evaluations))
 	r.Histogram("core.run").Observe(elapsed)
 	res.EvalStats.Publish(r)
+}
+
+// logDone emits the run-completed info record, correlated to the run
+// span by ID.
+func (o Options) logDone(span *obs.Span, res *Result, elapsed time.Duration) {
+	o.Log.Info("core.run done",
+		"strategy", o.Strategy.String(),
+		"feasible", res.Feasible,
+		"cost", res.Cost,
+		"archs", res.ArchsExplored,
+		"evaluations", res.Evaluations,
+		"elapsed", elapsed,
+		"span", span.ID())
 }
 
 // Result is the outcome of a design run.
@@ -193,6 +216,7 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 	if bestCost <= 0 {
 		bestCost = 1e308
 	}
+	archPh := opts.Progress.Phase("core.archs")
 
 	n, idx := 1, 0
 	for n <= enum.MaxNodes() {
@@ -203,6 +227,7 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 			continue
 		}
 		res.ArchsExplored++
+		archPh.Add(1)
 
 		// Fig. 5 line 6: skip architectures whose floor cost is already
 		// too high. For MAX the fixed levels determine the cost floor.
@@ -226,6 +251,7 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 		if ev == nil {
 			ev = evalengine.New(prob)
 			ev.SetMetrics(opts.Metrics)
+			ev.SetProgress(opts.Progress)
 		} else {
 			ev.SetProblem(prob)
 		}
@@ -244,6 +270,9 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 			// grow the architecture (Fig. 5 line 15).
 			archSpan.SetAttr(obs.Bool("feasible", false))
 			archSpan.End()
+			opts.Log.Debug("arch infeasible, growing",
+				"strategy", opts.Strategy.String(),
+				"nodes", n, "index", idx, "span", archSpan.ID())
 			n++
 			idx = 0
 			continue
@@ -274,6 +303,10 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 			res.Ks = cand.Solution.Ks
 			res.Schedule = cand.Solution.Schedule
 			res.Cost = cand.Solution.Cost
+			archPh.Best(bestCost)
+			opts.Log.Debug("new best architecture",
+				"strategy", opts.Strategy.String(),
+				"nodes", n, "index", idx, "cost", bestCost, "span", archSpan.ID())
 		}
 		idx++
 	}
@@ -284,7 +317,9 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 		obs.Bool("feasible", res.Feasible),
 		obs.Int("archs_explored", res.ArchsExplored),
 		obs.Int("evaluations", res.Evaluations))
-	opts.publish(res, time.Since(start))
+	elapsed := time.Since(start)
+	opts.publish(res, elapsed)
+	opts.logDone(span, res, elapsed)
 	return res, nil
 }
 

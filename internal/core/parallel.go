@@ -42,6 +42,10 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 	if bestCost <= 0 {
 		bestCost = 1e308
 	}
+	// Progress ticks come from the deterministic replay, not the
+	// speculative probes, so the published trajectory matches the
+	// sequential path's counts exactly.
+	archPh := opts.Progress.Phase("core.archs")
 
 	for n := 1; n <= enum.MaxNodes(); n++ {
 		var cands []*platform.Architecture
@@ -121,6 +125,7 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 		// where runSequential would have evaluated.
 		for i := range cands {
 			res.ArchsExplored++
+			archPh.Add(1)
 			if floors[i] >= bestCost {
 				continue
 			}
@@ -152,6 +157,10 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 				res.Ks = cand.Solution.Ks
 				res.Schedule = cand.Solution.Schedule
 				res.Cost = cand.Solution.Cost
+				archPh.Best(bestCost)
+				opts.Log.Debug("new best architecture",
+					"strategy", opts.Strategy.String(),
+					"nodes", n, "index", i, "cost", bestCost, "span", span.ID())
 			}
 		}
 		for i := range results {
@@ -165,7 +174,9 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 		obs.Bool("feasible", res.Feasible),
 		obs.Int("archs_explored", res.ArchsExplored),
 		obs.Int("evaluations", res.Evaluations))
-	opts.publish(res, time.Since(start))
+	elapsed := time.Since(start)
+	opts.publish(res, elapsed)
+	opts.logDone(span, res, elapsed)
 	return res, nil
 }
 
@@ -191,6 +202,7 @@ func probeArch(app *appmodel.Application, pl *platform.Platform, ar *platform.Ar
 	defer span.End()
 	ce := evalengine.NewConcurrentWith(problem(app, pl, ar, opts), workers, sfpc)
 	ce.SetMetrics(opts.Metrics)
+	ce.SetProgress(opts.Progress)
 	ce.Worker(0).SetTraceSpan(span)
 	r := probeResult{done: true}
 	r.sl, r.err = mapping.OptimizeConcurrent(ce, nil, mapping.ScheduleLength, opts.MappingParams)

@@ -80,6 +80,19 @@ func (c *solCache) clear() {
 	}
 }
 
+// size returns the current entry count across all shards. It takes the
+// shard locks, so it is for observation (live gauges), not hot paths.
+func (c *solCache) size() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // SFPCache is the concurrency-safe per-node-type SFP analysis cache:
 // (node type, hardening level, mapped process set) → *sfp.Node. It is the
 // expensive, highly reusable layer of the evaluation pipeline — node
@@ -165,6 +178,10 @@ type store struct {
 	stats     atomicStats
 	perWorker []workerCounters
 
+	// progress is the optional live-progress publisher; like metrics it is
+	// store-level state shared by every worker of a Concurrent engine.
+	progress *obs.Progress
+
 	// metrics is the optional live-instrumentation sink; the histograms are
 	// resolved once at setMetrics so the hot path observes through nil-safe
 	// pointers instead of registry lookups.
@@ -187,12 +204,24 @@ func newStore(sfpc *SFPCache, workers int) *store {
 }
 
 // setMetrics installs (or removes, with nil) the registry the engine's
-// duration histograms are recorded into.
+// duration histograms are recorded into. It also registers callback
+// gauges for the engine's live state — evaluations so far and current
+// cache populations — evaluated only when the registry is snapshotted
+// (the /metrics scrape path), so they cost nothing on the hot path.
 func (st *store) setMetrics(r *obs.Registry) {
 	st.metrics = r
 	st.mReexec = r.Histogram("evalengine.reexec")
 	st.mSched = r.Histogram("evalengine.sched")
 	st.mOpt = r.Histogram("evalengine.redundancy_opt")
+	r.GaugeFunc("evalengine.live.evaluations", func() float64 {
+		return float64(st.stats.evaluations.Load())
+	})
+	r.GaugeFunc("evalengine.live.cache_entries", func() float64 {
+		return float64(st.sols.size())
+	})
+	r.GaugeFunc("evalengine.live.opt_entries", func() float64 {
+		return float64(st.opts.size())
+	})
 }
 
 // resetStats zeroes the engine-wide and per-worker counters.

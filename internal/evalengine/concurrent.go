@@ -104,3 +104,7 @@ func (c *Concurrent) ResetStats() { c.st.resetStats() }
 // recorded into (shared by all workers); nil disables them. Spans are
 // per-worker: install them with Worker(i).SetTraceSpan.
 func (c *Concurrent) SetMetrics(r *obs.Registry) { c.st.setMetrics(r) }
+
+// SetProgress installs the live-progress publisher (shared by all
+// workers); nil disables publication.
+func (c *Concurrent) SetProgress(p *obs.Progress) { c.st.progress = p }

@@ -113,6 +113,15 @@ func (e *Evaluator) SetMetrics(r *obs.Registry) { e.st.setMetrics(r) }
 // MetricsRegistry returns the installed registry (nil when disabled).
 func (e *Evaluator) MetricsRegistry() *obs.Registry { return e.st.metrics }
 
+// SetProgress installs the live-progress publisher instrumented loops
+// above the engine (the tabu search's per-iteration ticks) publish into;
+// nil disables publication. Like the registry it is store-level state,
+// shared by every worker of a Concurrent engine.
+func (e *Evaluator) SetProgress(p *obs.Progress) { e.st.progress = p }
+
+// Progress returns the installed publisher (nil when disabled).
+func (e *Evaluator) Progress() *obs.Progress { return e.st.progress }
+
 // Problem returns the problem the evaluator is currently bound to.
 func (e *Evaluator) Problem() redundancy.Problem { return e.prob }
 

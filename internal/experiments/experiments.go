@@ -56,10 +56,15 @@ type Config struct {
 	Graphs int
 	// Span, when non-nil, nests the harness's per-point and per-app spans
 	// (and the design runs under them) below it; Metrics receives the
-	// counters of every run. Both are optional observability hooks — see
-	// internal/obs.
-	Span    *obs.Span
-	Metrics *obs.Registry
+	// counters of every run; Progress receives live progress (the
+	// "experiments.apps" phase per batch application, "experiments.rows"
+	// per runtime-study row, plus the per-run phases underneath); Log
+	// receives structured records (one per sweep point / study row). All
+	// are optional observability hooks — see internal/obs.
+	Span     *obs.Span
+	Metrics  *obs.Registry
+	Progress *obs.Progress
+	Log      *obs.Logger
 }
 
 // DefaultConfig returns a configuration sized for minutes-scale runs.
@@ -115,6 +120,8 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 		obs.Float("arc", pt.ArC),
 		obs.Int("jobs", len(jobs)))
 	defer ptSpan.End()
+	appPh := cfg.Progress.Phase("experiments.apps")
+	appPh.AddTotal(int64(len(jobs)))
 
 	counts := make(map[core.Strategy]int)
 	stats := make(map[core.Strategy]evalengine.Stats)
@@ -148,6 +155,7 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 				return
 			}
 			jobsStarted.Add(1)
+			defer appPh.Add(1) // abandoned jobs still count toward the batch
 			appSpan := ptSpan.Child("app",
 				obs.Int64("seed", jb.seed),
 				obs.Int("processes", jb.procs))
@@ -172,6 +180,8 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 					Workers:       cfg.RunWorkers,
 					ParentSpan:    appSpan,
 					Metrics:       cfg.Metrics,
+					Progress:      cfg.Progress,
+					Log:           cfg.Log,
 				})
 				if err != nil {
 					record(err)
@@ -190,12 +200,19 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 	}
 	wg.Wait()
 	if firstErr != nil {
+		cfg.Log.Error("acceptance point failed",
+			"ser", pt.SER, "hpd", pt.HPD, "arc", pt.ArC,
+			"err", firstErr.Error(), "span", ptSpan.ID())
 		return nil, nil, firstErr
 	}
 	rates := make(Rates, len(strategies))
 	for _, s := range strategies {
 		rates[s] = 100 * float64(counts[s]) / float64(len(jobs))
 	}
+	cfg.Log.Info("acceptance point done",
+		"ser", pt.SER, "hpd", pt.HPD, "arc", pt.ArC, "jobs", len(jobs),
+		"min", rates[core.MIN], "max", rates[core.MAX], "opt", rates[core.OPT],
+		"span", ptSpan.ID())
 	return rates, stats, nil
 }
 

@@ -22,6 +22,8 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Strategy runtime (SER=%.0e, HPD=%g%%, %d apps per size)", ser, hpd, cfg.Apps),
 		[]string{"processes", "strategy", "mean", "max", "mean archs", "mean evals",
 			"cache hit", "opt hit", "sched builds", "sfp built/reused", "reexec", "sched"})
+	rowPh := cfg.Progress.Phase("experiments.rows")
+	rowPh.AddTotal(int64(len(cfg.Procs) * 3))
 	for _, n := range cfg.Procs {
 		for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
 			rowSpan := cfg.Span.Child("runtime-row",
@@ -45,6 +47,8 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 					Workers:       cfg.RunWorkers,
 					ParentSpan:    rowSpan,
 					Metrics:       cfg.Metrics,
+					Progress:      cfg.Progress,
+					Log:           cfg.Log,
 				})
 				if err != nil {
 					rowSpan.End()
@@ -62,6 +66,11 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 			}
 			rowSpan.SetAttr(obs.Int("runs", runs))
 			rowSpan.End()
+			rowPh.Add(1)
+			cfg.Log.Info("runtime row done",
+				"processes", n, "strategy", s.String(), "runs", runs,
+				"mean", total/time.Duration(maxInt(runs, 1)),
+				"span", rowSpan.ID())
 			if runs == 0 {
 				continue
 			}
@@ -82,4 +91,11 @@ func RuntimeStudy(cfg Config, ser, hpd float64) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -161,6 +161,7 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 	reg := ev.MetricsRegistry()
 	iterCtr := reg.Counter("mapping.iterations")
 	moveCtr := reg.Counter("mapping.moves")
+	iterPh := ev.Progress().Phase("mapping.iterations")
 
 	cur := make([]int, n)
 	if initial != nil {
@@ -230,6 +231,7 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 		evals += len(trials)
 		iterCtr.Add(1)
 		moveCtr.Add(int64(len(trials)))
+		iterPh.Add(1)
 		iterSpan := span.Child("iteration",
 			obs.Int("iter", iter),
 			obs.Int("critical_path", len(cands)),

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGauge(t *testing.T) {
+	var nilReg *Registry
+	g := nilReg.Gauge("x")
+	g.Set(3) // no-op, no panic
+	if g.Value() != 0 {
+		t.Error("nil gauge value != 0")
+	}
+	nilReg.GaugeFunc("y", func() float64 { return 1 })
+
+	r := NewRegistry()
+	r.Gauge("live.queue").Set(12.5)
+	if same := r.Gauge("live.queue"); same.Value() != 12.5 {
+		t.Errorf("gauge by name = %v, want 12.5", same.Value())
+	}
+	n := 0.0
+	r.GaugeFunc("live.cache_entries", func() float64 { n += 100; return n })
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if s1.Gauges["live.queue"] != 12.5 {
+		t.Errorf("snapshot gauge = %v", s1.Gauges["live.queue"])
+	}
+	// Callback gauges are evaluated at snapshot time, so they track live
+	// state rather than a captured value.
+	if s1.Gauges["live.cache_entries"] != 100 || s2.Gauges["live.cache_entries"] != 200 {
+		t.Errorf("callback gauge = %v then %v, want 100 then 200",
+			s1.Gauges["live.cache_entries"], s2.Gauges["live.cache_entries"])
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live.queue 12.5") {
+		t.Errorf("text dump missing gauge: %q", sb.String())
+	}
+}
+
+func TestSpanID(t *testing.T) {
+	var nilSpan *Span
+	if nilSpan.ID() != 0 {
+		t.Error("nil span ID != 0")
+	}
+	tr := NewTracer()
+	a := tr.Start("a")
+	b := a.Child("b")
+	if a.ID() == 0 || b.ID() == 0 || a.ID() == b.ID() {
+		t.Errorf("span ids = %d, %d; want distinct non-zero", a.ID(), b.ID())
+	}
+}

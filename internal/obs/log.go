@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Logger is the structured logger of the observability layer: a thin
+// nil-safe wrapper over log/slog, so the search stack logs through the
+// same disabled-by-default convention as spans, metrics and progress —
+// a nil *Logger makes every call a no-op costing one pointer check, and
+// instrumented code logs unconditionally.
+//
+// Correlate log lines with traces by attaching the surrounding span's
+// identifier: `log.Info("core.run done", "span", span.ID(), ...)` — the
+// same id appears as span_id in the Chrome trace export.
+type Logger struct {
+	sl *slog.Logger
+}
+
+// NewLogger wraps an slog handler; a nil handler yields the disabled
+// (nil) logger.
+func NewLogger(h slog.Handler) *Logger {
+	if h == nil {
+		return nil
+	}
+	return &Logger{sl: slog.New(h)}
+}
+
+// NewTextLogger returns a logger emitting logfmt-style text lines at or
+// above the given level (nil level = slog.LevelInfo).
+func NewTextLogger(w io.Writer, level slog.Leveler) *Logger {
+	return NewLogger(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NewJSONLogger returns a logger emitting one JSON object per line at or
+// above the given level (nil level = slog.LevelInfo).
+func NewJSONLogger(w io.Writer, level slog.Leveler) *Logger {
+	return NewLogger(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Enabled reports whether the logger emits records at the given level
+// (false on the disabled logger).
+func (l *Logger) Enabled(level slog.Level) bool {
+	return l != nil && l.sl.Enabled(context.Background(), level)
+}
+
+// With returns a logger whose records carry the given attributes in
+// addition to per-call ones. The disabled logger stays disabled.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{sl: l.sl.With(args...)}
+}
+
+// Debug emits a debug-level record.
+func (l *Logger) Debug(msg string, args ...any) { l.log(slog.LevelDebug, msg, args) }
+
+// Info emits an info-level record.
+func (l *Logger) Info(msg string, args ...any) { l.log(slog.LevelInfo, msg, args) }
+
+// Warn emits a warn-level record.
+func (l *Logger) Warn(msg string, args ...any) { l.log(slog.LevelWarn, msg, args) }
+
+// Error emits an error-level record.
+func (l *Logger) Error(msg string, args ...any) { l.log(slog.LevelError, msg, args) }
+
+func (l *Logger) log(level slog.Level, msg string, args []any) {
+	if l == nil {
+		return
+	}
+	l.sl.Log(context.Background(), level, msg, args...)
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("a", "k", 1)
+	l.Info("b")
+	l.Warn("c")
+	l.Error("d", "err", "boom")
+	if l.With("k", "v") != nil {
+		t.Error("With on the disabled logger must stay disabled")
+	}
+	if l.Enabled(slog.LevelError) {
+		t.Error("disabled logger reports Enabled")
+	}
+	if NewLogger(nil) != nil {
+		t.Error("NewLogger(nil) must return the disabled logger")
+	}
+}
+
+func TestTextLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewTextLogger(&buf, slog.LevelInfo)
+	l.Debug("hidden")
+	l.With("strategy", "OPT").Info("core.run done", "cost", 56.0, "span", int64(7))
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug line leaked at info level: %q", out)
+	}
+	for _, want := range []string{"core.run done", "strategy=OPT", "cost=56", "span=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+	if !l.Enabled(slog.LevelInfo) || l.Enabled(slog.LevelDebug) {
+		t.Error("level gating wrong")
+	}
+}
+
+func TestJSONLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONLogger(&buf, slog.LevelDebug)
+	l.Debug("acceptance point done", "ser", 1e-11, "jobs", 20)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON object per line: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "acceptance point done" || rec["jobs"] != float64(20) {
+		t.Errorf("record = %v", rec)
+	}
+}

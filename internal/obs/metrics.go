@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -21,6 +22,8 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
 	hists    map[string]*Histogram
 }
 
@@ -28,6 +31,8 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -61,6 +66,52 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback gauge: f is evaluated at snapshot time,
+// so live values (cache sizes, in-flight counters) cost nothing on the
+// hot path. Re-registering a name replaces the callback; f must be safe
+// to call from any goroutine.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFns[name] = f
+	r.mu.Unlock()
+}
+
+// Gauge is a settable instantaneous float64. A nil *Gauge is a no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Counter is a monotonically adjustable int64. A nil *Counter is a no-op.
@@ -172,10 +223,12 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // Snapshot is a point-in-time copy of the whole registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot returns a copy of all instruments. A nil registry snapshots
+// Snapshot returns a copy of all instruments (callback gauges are
+// evaluated now, outside the registry lock). A nil registry snapshots
 // empty.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistogramSnapshot{}}
@@ -187,6 +240,14 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.counters {
 		counters[k] = v
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	gaugeFns := make(map[string]func() float64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
@@ -194,6 +255,15 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
+	}
+	if len(gauges)+len(gaugeFns) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges)+len(gaugeFns))
+		for k, v := range gauges {
+			s.Gauges[k] = v.Value()
+		}
+		for k, f := range gaugeFns {
+			s.Gauges[k] = f()
+		}
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.snapshot()
@@ -212,6 +282,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, s.Gauges[name]); err != nil {
 			return err
 		}
 	}

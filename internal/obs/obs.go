@@ -119,6 +119,16 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 	return s.tr.start(s, name, attrs)
 }
 
+// ID returns the span's identifier (0 on the disabled span) — the same
+// value exported as span_id in the Chrome trace, so log lines carrying
+// it correlate with the trace view.
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // SetAttr appends annotations to the span. It must be called by the
 // goroutine that owns the span, before End (attributes set after End are
 // dropped).

@@ -1,0 +1,160 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, base, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("core.archs_explored").Add(7)
+	pr := obs.NewProgress()
+	pr.Phase("cc.strategies").SetTotal(3)
+	pr.Phase("cc.strategies").Add(1)
+	tr := obs.NewTracer()
+	tr.Start("root").End()
+	srv := httptest.NewServer(Handler(Options{Registry: reg, Progress: pr, Tracer: tr}))
+	defer srv.Close()
+
+	t.Run("healthz", func(t *testing.T) {
+		code, body, _ := get(t, srv.URL, "/healthz")
+		if code != http.StatusOK || body != "ok\n" {
+			t.Errorf("healthz = %d %q", code, body)
+		}
+	})
+	t.Run("metrics", func(t *testing.T) {
+		code, body, hdr := get(t, srv.URL, "/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Errorf("content type %q lacks exposition version", ct)
+		}
+		for _, want := range []string{
+			"core_archs_explored_total 7",
+			`progress_current{phase="cc.strategies"} 1`,
+			`progress_total{phase="cc.strategies"} 3`,
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("metrics missing %q:\n%s", want, body)
+			}
+		}
+	})
+	t.Run("progress", func(t *testing.T) {
+		code, body, _ := get(t, srv.URL, "/progress")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var st obs.ProgressStatus
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("progress body not JSON: %v (%q)", err, body)
+		}
+		if len(st.Phases) != 1 || st.Phases[0].Current != 1 || st.Phases[0].Total != 3 {
+			t.Errorf("progress = %+v", st)
+		}
+	})
+	t.Run("trace", func(t *testing.T) {
+		code, body, _ := get(t, srv.URL, "/trace")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("trace body not JSON: %v", err)
+		}
+		if _, ok := doc["traceEvents"]; !ok {
+			t.Errorf("trace missing traceEvents: %v", doc)
+		}
+	})
+	t.Run("expvar", func(t *testing.T) {
+		code, body, _ := get(t, srv.URL, "/debug/vars")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("expvar body not JSON: %v", err)
+		}
+		if _, ok := doc["memstats"]; !ok {
+			t.Error("expvar missing memstats")
+		}
+	})
+	t.Run("pprof", func(t *testing.T) {
+		code, body, _ := get(t, srv.URL, "/debug/pprof/")
+		if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+			t.Errorf("pprof index = %d, body %q", code, body)
+		}
+	})
+	t.Run("index", func(t *testing.T) {
+		code, body, _ := get(t, srv.URL, "/")
+		if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+			t.Errorf("index = %d %q", code, body)
+		}
+	})
+	t.Run("not found", func(t *testing.T) {
+		if code, _, _ := get(t, srv.URL, "/nope"); code != http.StatusNotFound {
+			t.Errorf("unknown path = %d, want 404", code)
+		}
+	})
+}
+
+// TestNilOptions: every endpoint must serve a valid (possibly empty) body
+// with no instruments installed at all.
+func TestNilOptions(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{}))
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/metrics", "/progress", "/trace", "/debug/vars"} {
+		code, body, _ := get(t, srv.URL, path)
+		if code != http.StatusOK {
+			t.Errorf("%s with nil options = %d", path, code)
+		}
+		if path == "/progress" || path == "/trace" {
+			if !json.Valid([]byte(body)) {
+				t.Errorf("%s with nil options not JSON: %q", path, body)
+			}
+		}
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x").Add(1)
+	s, err := Serve("127.0.0.1:0", Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.HasPrefix(s.URL(), "http://127.0.0.1:") {
+		t.Errorf("URL = %q", s.URL())
+	}
+	code, body, _ := get(t, s.URL(), "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "x_total 1") {
+		t.Errorf("metrics over Serve = %d %q", code, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get(s.URL() + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -1,0 +1,152 @@
+package obshttp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file maps the obs instrument model onto the Prometheus text
+// exposition format (version 0.0.4):
+//
+//   - counters keep their dotted obs name, sanitized and suffixed
+//     `_total` (core.archs_explored → core_archs_explored_total);
+//   - gauges are sanitized verbatim;
+//   - duration histograms become `<name>_seconds` histograms with
+//     cumulative `_bucket{le="..."}` series (upper bounds in seconds, the
+//     Prometheus base unit), `_sum` and `_count`;
+//   - live progress phases export as `progress_current`, `progress_total`,
+//     `progress_best`, `progress_rate_per_sec` and `progress_done` gauges
+//     labelled {phase="<name>"}.
+//
+// Output ordering is deterministic — families sorted by name within each
+// instrument class, phases in creation order — so the exposition is
+// golden-testable and diffs between scrapes are meaningful.
+
+// promName sanitizes an obs instrument name into the Prometheus metric
+// name charset [a-zA-Z0-9_:] (dots become underscores).
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat formats a sample value.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// sortedKeys returns m's keys sorted by their sanitized metric name.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return promName(keys[i]) < promName(keys[j]) })
+	return keys
+}
+
+// WriteProm renders a registry snapshot plus a progress snapshot in the
+// Prometheus text exposition format. Either snapshot may be empty; the
+// output is valid (possibly zero-length body) exposition either way.
+func WriteProm(w io.Writer, m obs.Snapshot, p obs.ProgressStatus) error {
+	bw := &errWriter{w: w}
+	for _, name := range sortedKeys(m.Counters) {
+		n := promName(name) + "_total"
+		bw.printf("# TYPE %s counter\n%s %d\n", n, n, m.Counters[name])
+	}
+	for _, name := range sortedKeys(m.Gauges) {
+		n := promName(name)
+		bw.printf("# TYPE %s gauge\n%s %s\n", n, n, promFloat(m.Gauges[name]))
+	}
+	for _, name := range sortedKeys(m.Histograms) {
+		h := m.Histograms[name]
+		n := promName(name) + "_seconds"
+		bw.printf("# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			bw.printf("%s_bucket{le=\"%s\"} %d\n", n, promFloat(seconds(b.UpperBound)), cum)
+		}
+		bw.printf("%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		bw.printf("%s_sum %s\n", n, promFloat(seconds(h.Sum)))
+		bw.printf("%s_count %d\n", n, h.Count)
+	}
+	writePromProgress(bw, p)
+	return bw.err
+}
+
+// writePromProgress renders the progress phases as labelled gauges, one
+// family at a time (the exposition format requires all samples of a
+// metric to be consecutive).
+func writePromProgress(bw *errWriter, p obs.ProgressStatus) {
+	if len(p.Phases) == 0 {
+		return
+	}
+	family := func(name string, emit func(ph obs.PhaseStatus) (float64, bool)) {
+		first := true
+		for _, ph := range p.Phases {
+			v, ok := emit(ph)
+			if !ok {
+				continue
+			}
+			if first {
+				bw.printf("# TYPE %s gauge\n", name)
+				first = false
+			}
+			bw.printf("%s{phase=\"%s\"} %s\n", name, promLabel(ph.Name), promFloat(v))
+		}
+	}
+	family("progress_current", func(ph obs.PhaseStatus) (float64, bool) {
+		return float64(ph.Current), true
+	})
+	family("progress_total", func(ph obs.PhaseStatus) (float64, bool) {
+		return float64(ph.Total), ph.Total > 0
+	})
+	family("progress_best", func(ph obs.PhaseStatus) (float64, bool) {
+		return ph.Best, ph.HasBest
+	})
+	family("progress_rate_per_sec", func(ph obs.PhaseStatus) (float64, bool) {
+		return ph.RatePerSec, ph.RatePerSec > 0
+	})
+	family("progress_done", func(ph obs.PhaseStatus) (float64, bool) {
+		if ph.Done {
+			return 1, true
+		}
+		return 0, true
+	})
+}
+
+// errWriter latches the first write error so the exposition loop stays
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,266 @@
+package obshttp
+
+import (
+	"bufio"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureSnapshots builds hand-authored registry and progress snapshots
+// covering every family kind the writer emits, with values that exercise
+// name sanitization, label escaping and bucket accumulation. Literal
+// snapshots keep the golden byte-stable (no wall clock involved).
+func fixtureSnapshots() (obs.Snapshot, obs.ProgressStatus) {
+	m := obs.Snapshot{
+		Counters: map[string]int64{
+			"core.archs_explored":    12,
+			"evalengine.evaluations": 340,
+			"weird name!":            3,
+		},
+		Gauges: map[string]float64{
+			"evalengine.live.cache_entries": 128,
+			"evalengine.live.evaluations":   340.5,
+		},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"core.run": {
+				Count: 3,
+				Sum:   2 * time.Millisecond,
+				Min:   256 * time.Microsecond,
+				Max:   1024 * time.Microsecond,
+				Buckets: []obs.HistogramBucket{
+					{UpperBound: 512 * time.Microsecond, Count: 1},
+					{UpperBound: 1024 * time.Microsecond, Count: 2},
+				},
+			},
+		},
+	}
+	p := obs.ProgressStatus{
+		Phases: []obs.PhaseStatus{
+			{Name: "cc.strategies", Current: 2, Total: 3, Best: 56, HasBest: true,
+				RatePerSec: 1.5, ETA: time.Second, Elapsed: 2 * time.Second},
+			{Name: `quo"te\phase`, Current: 480, Done: true, Elapsed: 3 * time.Second},
+		},
+	}
+	return m, p
+}
+
+func TestWritePromGolden(t *testing.T) {
+	m, p := fixtureSnapshots()
+	var sb strings.Builder
+	if err := WriteProm(&sb, m, p); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from %s (run with -update to regenerate):\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// Exposition-format grammar fragments (text format 0.0.4).
+var (
+	typeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?(?:[0-9.e+-]+|\+Inf|NaN))$`)
+)
+
+// TestWritePromParsesBack lints the emitted exposition line by line: every
+// line is a TYPE declaration or a well-formed sample, every sample belongs
+// to the most recently declared family, histogram buckets are cumulative
+// and the +Inf bucket equals the count.
+func TestWritePromParsesBack(t *testing.T) {
+	m, p := fixtureSnapshots()
+	var sb strings.Builder
+	if err := WriteProm(&sb, m, p); err != nil {
+		t.Fatal(err)
+	}
+	lintProm(t, sb.String())
+}
+
+func lintProm(t *testing.T, text string) {
+	t.Helper()
+	curFamily, curKind := "", ""
+	declared := map[string]bool{}
+	var lastBucket float64
+	bucketCum := int64(-1)
+	var bucketName string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			t.Errorf("line %d: blank line in exposition", lineNo)
+			continue
+		}
+		if mm := typeRE.FindStringSubmatch(line); mm != nil {
+			if declared[mm[1]] {
+				t.Errorf("line %d: family %s declared twice", lineNo, mm[1])
+			}
+			declared[mm[1]] = true
+			curFamily, curKind = mm[1], mm[2]
+			lastBucket, bucketCum, bucketName = 0, -1, ""
+			continue
+		}
+		mm := sampleRE.FindStringSubmatch(line)
+		if mm == nil {
+			t.Errorf("line %d: not a valid exposition line: %q", lineNo, line)
+			continue
+		}
+		name, labels, valStr := mm[1], mm[2], mm[3]
+		base := name
+		if curKind == "histogram" {
+			base = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		} else if curKind == "counter" {
+			if !strings.HasSuffix(name, "_total") {
+				t.Errorf("line %d: counter sample %q lacks _total suffix", lineNo, name)
+			}
+		}
+		if base != curFamily {
+			t.Errorf("line %d: sample %q outside its TYPE block (current family %q)", lineNo, name, curFamily)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			le := ""
+			if f := regexp.MustCompile(`le="([^"]*)"`).FindStringSubmatch(labels); f != nil {
+				le = f[1]
+			}
+			cum, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				t.Errorf("line %d: bucket count %q not an int", lineNo, valStr)
+				continue
+			}
+			if bucketName == name && cum < bucketCum {
+				t.Errorf("line %d: bucket counts not cumulative: %d after %d", lineNo, cum, bucketCum)
+			}
+			bucketName, bucketCum = name, cum
+			if le == "+Inf" {
+				lastBucket = float64(cum)
+			} else if ub, err := strconv.ParseFloat(le, 64); err != nil || ub <= 0 {
+				t.Errorf("line %d: bad le bound %q", lineNo, le)
+			}
+		}
+		if strings.HasSuffix(name, "_count") && curKind == "histogram" {
+			cnt, _ := strconv.ParseFloat(valStr, 64)
+			if cnt != lastBucket {
+				t.Errorf("line %d: histogram count %v != +Inf bucket %v", lineNo, cnt, lastBucket)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lineNo == 0 {
+		t.Fatal("empty exposition")
+	}
+}
+
+// TestMetricsScrapeRace scrapes /metrics and /progress continuously while
+// writer goroutines mutate the shared registry and progress publisher;
+// under -race this is the scrape-vs-publish concurrency contract, and
+// every scraped body must still lint as valid exposition.
+func TestMetricsScrapeRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	pr := obs.NewProgress()
+	reg.GaugeFunc("live.value", func() float64 { return float64(pr.Status().Phases[0].Current) })
+	pr.Phase("work").SetTotal(4000)
+	srv := httptest.NewServer(Handler(Options{Registry: reg, Progress: pr, Tracer: obs.NewTracer()}))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ph := pr.Phase("work")
+			c := reg.Counter("evals")
+			h := reg.Histogram("step")
+			for i := 0; i < 1000; i++ {
+				ph.Add(1)
+				ph.Best(float64(1000 - i))
+				c.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	scrape := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Error(err)
+			return ""
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Error(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	for {
+		body := scrape("/metrics")
+		if body != "" {
+			lintProm(t, body)
+		}
+		scrape("/progress")
+		select {
+		case <-done:
+			final := scrape("/metrics")
+			for _, want := range []string{"evals_total 4000", `progress_current{phase="work"} 4000`} {
+				if !strings.Contains(final, want) {
+					t.Errorf("final scrape missing %q:\n%s", want, final)
+				}
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestPromNameAndLabel pins the sanitizer edge cases.
+func TestPromNameAndLabel(t *testing.T) {
+	cases := map[string]string{
+		"core.archs_explored": "core_archs_explored",
+		"9lead":               "_lead",
+		"a b-c":               "a_b_c",
+		"ok:colon":            "ok:colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("promLabel = %q", got)
+	}
+}

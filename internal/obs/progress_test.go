@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Progress deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestProgress() (*Progress, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgress()
+	p.now = clk.now
+	return p, clk
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	ph := p.Phase("x")
+	if ph != nil {
+		t.Fatal("nil Progress must hand out nil phases")
+	}
+	// All of these must be no-ops, not panics.
+	ph.Add(1)
+	ph.SetTotal(10)
+	ph.AddTotal(5)
+	ph.Best(3.5)
+	ph.Done()
+	if s := p.Status(); len(s.Phases) != 0 {
+		t.Fatalf("nil Progress status = %+v, want empty", s)
+	}
+	if line := p.Status().StatusLine(); line != "" {
+		t.Fatalf("nil Progress status line = %q, want empty", line)
+	}
+}
+
+func TestProgressCountsTotalsBest(t *testing.T) {
+	p, clk := newTestProgress()
+	ph := p.Phase("core.archs")
+	ph.AddTotal(10)
+	ph.AddTotal(10)
+	for i := 0; i < 5; i++ {
+		clk.advance(time.Second)
+		ph.Add(1)
+	}
+	ph.Add(0)  // ignored
+	ph.Add(-3) // ignored: the counter is monotonic
+	ph.Best(56)
+	ph.Best(80) // not an improvement
+	s := p.Status()
+	if len(s.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(s.Phases))
+	}
+	st := s.Phases[0]
+	if st.Name != "core.archs" || st.Current != 5 || st.Total != 20 {
+		t.Errorf("status = %+v, want current 5 / total 20", st)
+	}
+	if !st.HasBest || st.Best != 56 {
+		t.Errorf("best = %v (has=%v), want 56", st.Best, st.HasBest)
+	}
+	// 5 adds, one per second: the moving rate is 4 increments over 4s
+	// between the first and last sample.
+	if st.RatePerSec < 0.99 || st.RatePerSec > 1.01 {
+		t.Errorf("rate = %v, want ~1/s", st.RatePerSec)
+	}
+	// 15 remaining at 1/s.
+	if st.ETA < 14*time.Second || st.ETA > 16*time.Second {
+		t.Errorf("ETA = %v, want ~15s", st.ETA)
+	}
+	ph.Done()
+	if st := p.Status().Phases[0]; !st.Done || st.ETA != 0 {
+		t.Errorf("after Done: %+v, want done and no ETA", st)
+	}
+}
+
+// TestProgressRateWindow: the rate reflects the recent window, not the
+// lifetime average, so a stalled phase that resumes shows the resumed
+// pace.
+func TestProgressRateWindow(t *testing.T) {
+	p, clk := newTestProgress()
+	ph := p.Phase("apps")
+	// Slow prologue: 1 per 10s, enough to roll out of a 64-sample window
+	// once the fast phase fills it.
+	for i := 0; i < 10; i++ {
+		clk.advance(10 * time.Second)
+		ph.Add(1)
+	}
+	// Fast tail: 10/s for rateWindow samples.
+	for i := 0; i < rateWindow; i++ {
+		clk.advance(100 * time.Millisecond)
+		ph.Add(1)
+	}
+	st := p.Status().Phases[0]
+	if st.RatePerSec < 9 || st.RatePerSec > 11 {
+		t.Errorf("windowed rate = %v, want ~10/s", st.RatePerSec)
+	}
+}
+
+func TestProgressStatusLine(t *testing.T) {
+	p, clk := newTestProgress()
+	a := p.Phase("apps")
+	a.SetTotal(40)
+	clk.advance(time.Second)
+	a.Add(10)
+	clk.advance(time.Second)
+	a.Add(10)
+	b := p.Phase("archs")
+	b.Add(7)
+	b.Best(56)
+	line := p.Status().StatusLine()
+	for _, want := range []string{"apps 20/40 (50%)", "archs 7", "best 56", " | "} {
+		if !strings.Contains(line, want) {
+			t.Errorf("status line %q missing %q", line, want)
+		}
+	}
+	a.Done()
+	if line := p.Status().StatusLine(); !strings.Contains(line, "done") {
+		t.Errorf("status line %q missing done marker", line)
+	}
+}
+
+// TestProgressJSON: the snapshot must round-trip through JSON — it backs
+// the /progress endpoint.
+func TestProgressJSON(t *testing.T) {
+	p, _ := newTestProgress()
+	ph := p.Phase("rows")
+	ph.SetTotal(6)
+	ph.Add(2)
+	data, err := json.Marshal(p.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ProgressStatus
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Phases) != 1 || got.Phases[0].Current != 2 || got.Phases[0].Total != 6 {
+		t.Errorf("round-tripped %+v", got)
+	}
+}
+
+// TestProgressConcurrent hammers one publisher from many goroutines
+// while a reader snapshots it; run under -race this is the concurrency
+// contract, and the final count checks no increment is lost.
+func TestProgressConcurrent(t *testing.T) {
+	p := NewProgress()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = p.Status().StatusLine()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ph := p.Phase("work")
+			for i := 0; i < perWorker; i++ {
+				ph.Add(1)
+				ph.Best(float64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	st := p.Status().Phases[0]
+	if st.Current != workers*perWorker {
+		t.Errorf("current = %d, want %d", st.Current, workers*perWorker)
+	}
+	if !st.HasBest || st.Best != 0 {
+		t.Errorf("best = %v, want 0", st.Best)
+	}
+}
