@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cc"
@@ -137,7 +138,7 @@ func benchPoint(b *testing.B, pt experiments.Point) {
 	cfg := experiments.Config{Apps: 2, Procs: []int{20}, Seed: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Acceptance(cfg, pt); err != nil {
+		if _, err := experiments.Acceptance(context.Background(), cfg, pt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -154,7 +155,7 @@ func BenchmarkFig6aParallel(b *testing.B) {
 	pt := experiments.Point{SER: 1e-11, HPD: 25, ArC: 20}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Acceptance(cfg, pt); err != nil {
+		if _, err := experiments.Acceptance(context.Background(), cfg, pt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -246,7 +247,7 @@ func BenchmarkAblationGradient(b *testing.B) {
 	cfg := experiments.Config{Apps: 2, Procs: []int{20}, Seed: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationGradient(cfg, 1e-10); err != nil {
+		if _, err := experiments.AblationGradient(context.Background(), cfg, 1e-10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -409,7 +410,7 @@ func BenchmarkPolicyComparison(b *testing.B) {
 	cfg := experiments.Config{Apps: 2, Procs: []int{20}, Seed: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.PolicyComparison(cfg, 1e-10, 0.5); err != nil {
+		if _, err := experiments.PolicyComparison(context.Background(), cfg, 1e-10, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}

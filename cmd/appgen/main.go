@@ -13,26 +13,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cc"
 	"repro/internal/paper"
+	"repro/internal/runctl"
 	"repro/internal/specio"
 	"repro/internal/taskgen"
 	"repro/internal/tgff"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "appgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("appgen", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "generator seed")
 	procs := fs.Int("procs", 20, "number of processes (paper: 20 or 40)")
@@ -45,6 +51,9 @@ func run(args []string, stdout io.Writer) error {
 	asTGFF := fs.Bool("tgff", false, "emit the task graphs in TGFF format instead of a JSON spec")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cerr := runctl.Err(ctx); cerr != nil {
+		return cerr
 	}
 
 	var spec *specio.Spec

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestGenerateSynthetic(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-seed", "2", "-procs", "20", "-ser", "1e-11", "-hpd", "25"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-seed", "2", "-procs", "20", "-ser", "1e-11", "-hpd", "25"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	spec, err := specio.Read(&buf)
@@ -29,7 +30,7 @@ func TestGenerateSynthetic(t *testing.T) {
 func TestBuiltinExamples(t *testing.T) {
 	for _, name := range []string{"fig1", "fig3", "cc"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-paper", name}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-paper", name}, &buf); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if _, err := specio.Read(&buf); err != nil {
@@ -41,7 +42,7 @@ func TestBuiltinExamples(t *testing.T) {
 func TestOutFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "spec.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-paper", "fig3", "-out", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-paper", "fig3", "-out", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() != 0 {
@@ -51,21 +52,21 @@ func TestOutFile(t *testing.T) {
 
 func TestUnknownBuiltin(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-paper", "nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-paper", "nope"}, &buf); err == nil {
 		t.Error("want error for unknown built-in")
 	}
 }
 
 func TestBadConfig(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-procs", "0"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-procs", "0"}, &buf); err == nil {
 		t.Error("want error for zero processes")
 	}
 }
 
 func TestTGFFOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-paper", "fig1", "-tgff"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-paper", "fig1", "-tgff"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/appmodel"
 	"repro/internal/checkpoint"
@@ -29,13 +32,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancels the optimization; it stops at the next
+	// candidate architecture and reports the cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ftopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ftopt", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "path to the JSON problem specification (required)")
 	strategy := fs.String("strategy", "OPT", "design strategy: OPT, MIN or MAX")
@@ -85,7 +92,7 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown slack model %q", *slack)
 	}
 
-	res, err := core.Run(spec.Application, spec.Platform, opts)
+	res, err := core.RunContext(ctx, spec.Application, spec.Platform, opts)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,7 +34,7 @@ func writeFig3Spec(t *testing.T) string {
 func TestOptimizeFig3(t *testing.T) {
 	path := writeFig3Spec(t)
 	var sb strings.Builder
-	if err := run([]string{"-spec", path, "-schedule"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-schedule"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -47,14 +48,14 @@ func TestOptimizeFig3(t *testing.T) {
 func TestStrategies(t *testing.T) {
 	path := writeFig3Spec(t)
 	var sb strings.Builder
-	if err := run([]string{"-spec", path, "-strategy", "MIN"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-strategy", "MIN"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "INFEASIBLE") {
 		t.Errorf("MIN on Fig. 3 should be infeasible:\n%s", sb.String())
 	}
 	sb.Reset()
-	if err := run([]string{"-spec", path, "-strategy", "MAX"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-strategy", "MAX"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "feasible, cost 40") {
@@ -65,7 +66,7 @@ func TestStrategies(t *testing.T) {
 func TestSlackModelFlag(t *testing.T) {
 	path := writeFig3Spec(t)
 	var sb strings.Builder
-	if err := run([]string{"-spec", path, "-slack", "per-process"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-slack", "per-process"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	// Monoprocessor, single process: per-process equals shared here.
@@ -77,7 +78,7 @@ func TestSlackModelFlag(t *testing.T) {
 func TestArcBound(t *testing.T) {
 	path := writeFig3Spec(t)
 	var sb strings.Builder
-	if err := run([]string{"-spec", path, "-arc", "15"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-arc", "15"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "INFEASIBLE") {
@@ -88,16 +89,16 @@ func TestArcBound(t *testing.T) {
 func TestFlagErrors(t *testing.T) {
 	path := writeFig3Spec(t)
 	var sb strings.Builder
-	if err := run([]string{}, &sb); err == nil {
+	if err := run(context.Background(), []string{}, &sb); err == nil {
 		t.Error("want error without -spec")
 	}
-	if err := run([]string{"-spec", "/nonexistent"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-spec", "/nonexistent"}, &sb); err == nil {
 		t.Error("want error for missing file")
 	}
-	if err := run([]string{"-spec", path, "-strategy", "BOGUS"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-spec", path, "-strategy", "BOGUS"}, &sb); err == nil {
 		t.Error("want error for unknown strategy")
 	}
-	if err := run([]string{"-spec", path, "-slack", "BOGUS"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-spec", path, "-slack", "BOGUS"}, &sb); err == nil {
 		t.Error("want error for unknown slack model")
 	}
 }
@@ -105,7 +106,7 @@ func TestFlagErrors(t *testing.T) {
 func TestGanttFlag(t *testing.T) {
 	path := writeFig3Spec(t)
 	var sb strings.Builder
-	if err := run([]string{"-spec", path, "-gantt"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-gantt"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -118,7 +119,7 @@ func TestDotFlag(t *testing.T) {
 	path := writeFig3Spec(t)
 	out := filepath.Join(t.TempDir(), "g.dot")
 	var sb strings.Builder
-	if err := run([]string{"-spec", path, "-dot", out}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-dot", out}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -133,7 +134,7 @@ func TestDotFlag(t *testing.T) {
 func TestSimulateFlag(t *testing.T) {
 	path := writeFig3Spec(t)
 	var sb strings.Builder
-	if err := run([]string{"-spec", path, "-simulate", "50"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-simulate", "50"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -150,7 +151,7 @@ func TestSimulateFlag(t *testing.T) {
 func TestPoliciesFlag(t *testing.T) {
 	path := writeFig3Spec(t)
 	var sb strings.Builder
-	if err := run([]string{"-spec", path, "-policies"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-policies"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -64,7 +65,7 @@ func TestGoldenCC(t *testing.T) {
 		t.Skip("runs three full design strategies")
 	}
 	var sb strings.Builder
-	if err := run([]string{"-fig", "cc"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "cc.golden", sb.String())
@@ -77,7 +78,7 @@ func TestGoldenRuntime(t *testing.T) {
 		t.Skip("runs the strategy-runtime study")
 	}
 	var sb strings.Builder
-	if err := run([]string{"-fig", "runtime", "-apps", "2", "-procs", "10"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "runtime", "-apps", "2", "-procs", "10"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "runtime.golden", sb.String())

@@ -41,6 +41,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +59,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/runctl"
+	"repro/internal/runstate"
 )
 
 // stderr is where diagnostics (-progress, -log, -metrics, the -serve
@@ -69,13 +72,38 @@ var stderr io.Writer = os.Stderr
 var testServeHook func(addr string)
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signalContext()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		if errors.Is(err, runctl.ErrCanceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// signalContext installs the two-stage interrupt protocol: the first
+// SIGINT/SIGTERM cancels the returned context — the run stops at the
+// next row boundary, flushes the partial tables and syncs the journal —
+// and a second signal exits immediately.
+func signalContext() (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "paperbench: interrupt — stopping at the next row, flushing partial results (interrupt again to exit now)")
+		cancel()
+		<-ch
+		fmt.Fprintln(os.Stderr, "paperbench: second interrupt — exiting immediately")
+		os.Exit(130)
+	}()
+	return ctx, func() { signal.Stop(ch); cancel() }
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: 6a, 6b, 6c, 6d, cc, policies, simulation, runtime, ablation or all")
 	apps := fs.Int("apps", 10, "applications per process count (paper: 150)")
@@ -95,8 +123,17 @@ func run(args []string, w io.Writer) error {
 	logFormat := fs.String("log", "", "emit structured logs on stderr: text or json")
 	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
 	benchJSON := fs.String("bench-json", "", "write a machine-readable benchmark record (figures, wall times, counters, version) to this JSON file")
+	timeout := fs.Duration("timeout", 0, "overall run deadline; on expiry the run stops at the next row boundary and flushes partial tables (0 = none)")
+	appTimeout := fs.Duration("app-timeout", 0, "per-application deadline; a timed-out application counts as rejected instead of aborting the sweep (0 = none)")
+	journalPath := fs.String("journal", "", "journal completed experiment rows to this crash-safe append-only file")
+	resume := fs.Bool("resume", false, "with -journal: restore rows a previous interrupted run already journaled instead of recomputing them")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var tracer *obs.Tracer
@@ -150,7 +187,15 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Graceful teardown: stop admitting scrapes, give in-flight ones a
+		// bounded drain, then force-close whatever is left.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				srv.Close()
+			}
+		}()
 		fmt.Fprintf(stderr, "paperbench: serving live introspection on %s\n", srv.URL())
 		lg.Info("introspection server up", "url", srv.URL())
 		if testServeHook != nil {
@@ -163,12 +208,42 @@ func run(args []string, w io.Writer) error {
 	}
 
 	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers, RunWorkers: *runWorkers,
-		Metrics: reg, Progress: prog, Log: lg}
+		AppTimeout: *appTimeout, Metrics: reg, Progress: prog, Log: lg}
 	for _, tok := range splitInts(*procs) {
 		cfg.Procs = append(cfg.Procs, tok)
 	}
 	if len(cfg.Procs) == 0 {
 		return fmt.Errorf("no process counts in -procs")
+	}
+
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+	if *journalPath != "" {
+		// The fingerprint pins the workload identity: resuming under a
+		// different -apps/-procs/-seed is refused rather than silently
+		// mixing incompatible rows.
+		fp, err := runstate.Fingerprint(struct {
+			Apps  int   `json:"apps"`
+			Procs []int `json:"procs"`
+			Seed  int64 `json:"seed"`
+		}{cfg.Apps, cfg.Procs, cfg.Seed})
+		if err != nil {
+			return err
+		}
+		j, err := runstate.Open(*journalPath, fp, *resume)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		cfg.Journal = j
+		if reg != nil {
+			reg.GaugeFunc("journal_rows_restored", func() float64 { return float64(j.Restored()) })
+			reg.GaugeFunc("journal_rows_appended", func() float64 { return float64(j.Appended()) })
+		}
+		if *resume && j.Restored() > 0 {
+			fmt.Fprintf(stderr, "paperbench: resuming: %d journaled rows restored from %s\n", j.Restored(), *journalPath)
+		}
 	}
 
 	// figSpan is the current figure's root span; the job closures read cfg
@@ -178,7 +253,7 @@ func run(args []string, w io.Writer) error {
 
 	type job struct {
 		name string
-		run  func() error
+		run  func(context.Context) error
 	}
 	render := func(t *experiments.Table) error {
 		if *md {
@@ -186,13 +261,20 @@ func run(args []string, w io.Writer) error {
 		}
 		return t.Render(w)
 	}
-	table := func(f func(experiments.Config) (*experiments.Table, error)) func() error {
-		return func() error {
-			t, err := f(cfg)
-			if err != nil {
-				return err
+	// renderResult renders whatever table came back — on cancellation the
+	// experiment functions return the completed rows alongside the typed
+	// error, so an interrupted run still prints its partial figure.
+	renderResult := func(t *experiments.Table, err error) error {
+		if t != nil {
+			if rerr := render(t); rerr != nil && err == nil {
+				err = rerr
 			}
-			return render(t)
+		}
+		return err
+	}
+	table := func(f func(context.Context, experiments.Config) (*experiments.Table, error)) func(context.Context) error {
+		return func(ctx context.Context) error {
+			return renderResult(f(ctx, cfg))
 		}
 	}
 	jobs := map[string]job{
@@ -200,58 +282,32 @@ func run(args []string, w io.Writer) error {
 		"6b": {"Fig. 6b", table(experiments.Fig6b)},
 		"6c": {"Fig. 6c", table(experiments.Fig6c)},
 		"6d": {"Fig. 6d", table(experiments.Fig6d)},
-		"cc": {"Cruise controller", func() error { return runCC(w, render, *runWorkers, figSpan, reg, prog, lg) }},
-		"runtime": {"Strategy runtime", func() error {
-			t, err := experiments.RuntimeStudy(cfg, 1e-11, 25)
-			if err != nil {
-				return err
-			}
-			return render(t)
+		"cc": {"Cruise controller", func(ctx context.Context) error {
+			return runCC(ctx, w, render, *runWorkers, figSpan, reg, prog, lg)
 		}},
-		"simulation": {"Simulation vs analysis", func() error {
-			t, err := experiments.SimulationStudy(cfg, 1e-11, 200)
-			if err != nil {
-				return err
-			}
-			return render(t)
+		"runtime": {"Strategy runtime", func(ctx context.Context) error {
+			return renderResult(experiments.RuntimeStudy(ctx, cfg, 1e-11, 25))
 		}},
-		"policies": {"Policy comparison", func() error {
-			t, err := experiments.PolicyComparison(cfg, 1e-10, 0.5)
-			if err != nil {
-				return err
-			}
-			return render(t)
+		"simulation": {"Simulation vs analysis", func(ctx context.Context) error {
+			return renderResult(experiments.SimulationStudy(ctx, cfg, 1e-11, 200))
 		}},
-		"ablation": {"Ablations", func() error {
-			t, err := experiments.AblationSlack(cfg, experiments.Point{SER: 1e-10, HPD: 25, ArC: 20})
-			if err != nil {
-				return err
-			}
-			if err := render(t); err != nil {
+		"policies": {"Policy comparison", func(ctx context.Context) error {
+			return renderResult(experiments.PolicyComparison(ctx, cfg, 1e-10, 0.5))
+		}},
+		"ablation": {"Ablations", func(ctx context.Context) error {
+			if err := renderResult(experiments.AblationSlack(ctx, cfg, experiments.Point{SER: 1e-10, HPD: 25, ArC: 20})); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
-			t, err = experiments.AblationMapping(cfg, experiments.Point{SER: 1e-11, HPD: 25, ArC: 20})
-			if err != nil {
-				return err
-			}
-			if err := render(t); err != nil {
+			if err := renderResult(experiments.AblationMapping(ctx, cfg, experiments.Point{SER: 1e-11, HPD: 25, ArC: 20})); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
-			t, err = experiments.AblationGradient(cfg, 1e-10)
-			if err != nil {
-				return err
-			}
-			if err := render(t); err != nil {
+			if err := renderResult(experiments.AblationGradient(ctx, cfg, 1e-10)); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
-			t, err = experiments.AblationBus(cfg, experiments.Point{SER: 1e-11, HPD: 25, ArC: 20})
-			if err != nil {
-				return err
-			}
-			return render(t)
+			return renderResult(experiments.AblationBus(ctx, cfg, experiments.Point{SER: 1e-11, HPD: 25, ArC: 20}))
 		}},
 	}
 	order := []string{"6a", "6b", "6c", "6d", "cc", "policies", "simulation", "runtime", "ablation"}
@@ -278,11 +334,24 @@ func run(args []string, w io.Writer) error {
 		figSpan = tracer.Start("fig." + name)
 		cfg.Span = figSpan
 		lg.Info("figure start", "fig", name, "span", figSpan.ID())
-		err := jobs[name].run()
+		err := jobs[name].run(ctx)
 		figSpan.End()
 		elapsed := time.Since(start)
 		if err != nil {
-			lg.Error("figure failed", "fig", name, "err", err.Error(), "span", figSpan.ID())
+			if errors.Is(err, runctl.ErrCanceled) {
+				// The partial table is already rendered; make the interrupted
+				// run resumable and report over stderr, keeping stdout golden.
+				lg.Info("figure interrupted", "fig", name, "err", err.Error(), "span", figSpan.ID())
+				if cfg.Journal != nil {
+					if serr := cfg.Journal.Sync(); serr != nil {
+						fmt.Fprintln(stderr, "paperbench: journal sync:", serr)
+					}
+					fmt.Fprintf(stderr, "paperbench: interrupted; %d rows journaled — rerun with -resume -journal %s to continue\n",
+						cfg.Journal.Len(), *journalPath)
+				}
+			} else {
+				lg.Error("figure failed", "fig", name, "err", err.Error(), "span", figSpan.ID())
+			}
 			return fmt.Errorf("%s: %w", jobs[name].name, err)
 		}
 		lg.Info("figure done", "fig", name, "elapsed", elapsed, "span", figSpan.ID())
@@ -353,8 +422,6 @@ func run(args []string, w io.Writer) error {
 	}
 	if *serveWait {
 		fmt.Fprintln(stderr, "paperbench: run complete; serving until interrupted (-serve-wait)")
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
 		<-ctx.Done()
 	}
 	return nil
@@ -458,7 +525,7 @@ func renderProgress(p *obs.Progress, w io.Writer) (stop func()) {
 // lg are the optional observability hooks (nil disables each): the three
 // design runs nest under span, fold their counters into reg, tick the
 // "cc.strategies" progress phase and log per-run records.
-func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int, span *obs.Span, reg *obs.Registry, prog *obs.Progress, lg *obs.Logger) error {
+func runCC(ctx context.Context, w io.Writer, render func(*experiments.Table) error, runWorkers int, span *obs.Span, reg *obs.Registry, prog *obs.Progress, lg *obs.Logger) error {
 	inst, err := cc.Instance()
 	if err != nil {
 		return err
@@ -475,7 +542,7 @@ func runCC(w io.Writer, render func(*experiments.Table) error, runWorkers int, s
 	}
 	var lines []strategyStats
 	for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
-		res, err := core.Run(inst.App, inst.Platform, core.Options{
+		res, err := core.RunContext(ctx, inst.App, inst.Platform, core.Options{
 			Goal: inst.Goal, Strategy: s, Workers: runWorkers,
 			ParentSpan: span, Metrics: reg, Progress: prog, Log: lg,
 		})

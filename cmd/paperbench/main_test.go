@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -28,10 +29,10 @@ func TestSplitInts(t *testing.T) {
 
 func TestUnknownFigure(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-fig", "9z"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-fig", "9z"}, &sb); err == nil {
 		t.Error("want error for unknown figure")
 	}
-	if err := run([]string{"-fig", "6a", "-procs", ","}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-fig", "6a", "-procs", ","}, &sb); err == nil {
 		t.Error("want error for empty process list")
 	}
 }
@@ -41,7 +42,7 @@ func TestCCFigure(t *testing.T) {
 		t.Skip("runs three full design strategies")
 	}
 	var sb strings.Builder
-	if err := run([]string{"-fig", "cc"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -62,7 +63,7 @@ func TestProfileFlags(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var sb strings.Builder
-	if err := run([]string{"-fig", "runtime", "-apps", "1", "-procs", "20",
+	if err := run(context.Background(), []string{"-fig", "runtime", "-apps", "1", "-procs", "20",
 		"-cpuprofile", cpu, "-memprofile", mem}, &sb); err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +100,10 @@ func TestRunWorkersFlag(t *testing.T) {
 		t.Skip("runs design strategies twice")
 	}
 	var seq, par strings.Builder
-	if err := run([]string{"-fig", "cc"}, &seq); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc"}, &seq); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fig", "cc", "-run-workers", "3"}, &par); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-run-workers", "3"}, &par); err != nil {
 		t.Fatal(err)
 	}
 	// Strip the engine-counter and timing lines (parallel runs report
@@ -130,7 +131,7 @@ func TestTinySweep(t *testing.T) {
 		t.Skip("sweep")
 	}
 	var sb strings.Builder
-	if err := run([]string{"-fig", "6c", "-apps", "1", "-procs", "20"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "6c", "-apps", "1", "-procs", "20"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/runctl"
+)
+
+// TestRunJournalResumeByteIdentical: a run journaled to disk and then
+// rerun with -resume produces byte-identical stdout without recomputing
+// the journaled rows (the resumed run is near-instant; the identical
+// bytes are the contract the CI smoke job checks after a real SIGINT).
+func TestRunJournalResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	args := []string{"-fig", "runtime", "-apps", "2", "-procs", "20", "-seed", "3", "-journal", journal}
+
+	var first strings.Builder
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	var second strings.Builder
+	if err := run(context.Background(), append(args, "-resume"), &second); err != nil {
+		t.Fatal(err)
+	}
+	a, b := normalize(first.String()), normalize(second.String())
+	if a != b {
+		t.Errorf("resumed output differs:\n%s\nwant:\n%s", b, a)
+	}
+}
+
+// TestRunResumeRejectsChangedWorkload: the journal fingerprint pins
+// -apps/-procs/-seed; resuming under different parameters must fail
+// instead of mixing rows from incompatible sweeps.
+func TestRunResumeRejectsChangedWorkload(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-fig", "policies", "-apps", "1", "-procs", "20", "-seed", "3", "-journal", journal}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-fig", "policies", "-apps", "1", "-procs", "20", "-seed", "4", "-journal", journal, "-resume"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("resume with a different seed: err = %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestRunResumeRequiresJournal(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-fig", "runtime", "-resume"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-journal") {
+		t.Errorf("err = %v, want -resume requires -journal", err)
+	}
+}
+
+// TestRunCanceledFlushesPartialTable: a canceled run exits with the
+// typed error and still renders the (empty-prefix) partial table on
+// stdout, with "-" in the unmeasured cells.
+func TestRunCanceledFlushesPartialTable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, []string{"-fig", "6a", "-apps", "2", "-procs", "20", "-seed", "3"}, &sb)
+	if !errors.Is(err, runctl.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 6a") || !strings.Contains(out, " - ") {
+		t.Errorf("canceled run did not flush a partial table:\n%s", out)
+	}
+}
+
+// TestRunTimeoutFlag: -timeout bounds the whole run through the same
+// cancellation path as an interrupt.
+func TestRunTimeoutFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-fig", "6a", "-apps", "2", "-procs", "20", "-seed", "3", "-timeout", "1ns"}, &sb)
+	if !errors.Is(err, runctl.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestRunAppTimeoutFlag: an unmeetable per-app deadline rejects every
+// application but completes the sweep normally.
+func TestRunAppTimeoutFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-fig", "6a", "-apps", "2", "-procs", "20", "-seed", "3", "-app-timeout", "1ns"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0") {
+		t.Errorf("expected all-rejected rates:\n%s", sb.String())
+	}
+}

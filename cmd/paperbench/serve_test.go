@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -127,12 +128,12 @@ func TestServeFlag(t *testing.T) {
 	defer func() { testServeHook = nil }()
 
 	var served, plain strings.Builder
-	if err := run([]string{"-fig", "cc", "-serve", "127.0.0.1:0"}, &served); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-serve", "127.0.0.1:0"}, &served); err != nil {
 		t.Fatal(err)
 	}
 	close(done)
 	wg.Wait()
-	if err := run([]string{"-fig", "cc"}, &plain); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc"}, &plain); err != nil {
 		t.Fatal(err)
 	}
 
@@ -192,7 +193,7 @@ func TestMetricsKeepsGolden(t *testing.T) {
 	}
 	errBuf := captureStderr(t)
 	var sb strings.Builder
-	if err := run([]string{"-fig", "cc", "-metrics"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-metrics"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "cc.golden", sb.String())
@@ -209,7 +210,7 @@ func TestBenchJSON(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var sb strings.Builder
-	if err := run([]string{"-fig", "cc", "-bench-json", path}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-bench-json", path}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -255,7 +256,7 @@ func TestLogFlag(t *testing.T) {
 	}
 	errBuf := captureStderr(t)
 	var sb strings.Builder
-	if err := run([]string{"-fig", "cc", "-log", "json", "-log-level", "debug"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-log", "json", "-log-level", "debug"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "cc.golden", sb.String())
@@ -280,10 +281,10 @@ func TestLogFlag(t *testing.T) {
 // TestLogFlagValidation: bad -log / -log-level values must error out.
 func TestLogFlagValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-fig", "cc", "-log", "xml"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-log", "xml"}, &sb); err == nil {
 		t.Error("want error for -log xml")
 	}
-	if err := run([]string{"-fig", "cc", "-log", "text", "-log-level", "loud"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-log", "text", "-log-level", "loud"}, &sb); err == nil {
 		t.Error("want error for -log-level loud")
 	}
 }
@@ -296,7 +297,7 @@ func TestProgressFlag(t *testing.T) {
 	}
 	errBuf := captureStderr(t)
 	var sb strings.Builder
-	if err := run([]string{"-fig", "cc", "-progress"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-progress"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "cc.golden", sb.String())

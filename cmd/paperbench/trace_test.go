@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -33,10 +34,10 @@ func TestTraceFlag(t *testing.T) {
 	path := filepath.Join(dir, "cc.json")
 	metricsPath := filepath.Join(dir, "metrics.txt")
 	var traced, plain strings.Builder
-	if err := run([]string{"-fig", "cc", "-trace", path, "-metrics-out", metricsPath}, &traced); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-trace", path, "-metrics-out", metricsPath}, &traced); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fig", "cc"}, &plain); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc"}, &plain); err != nil {
 		t.Fatal(err)
 	}
 
@@ -165,7 +166,7 @@ func TestTraceFlagParallel(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "cc.json")
 	var sb strings.Builder
-	if err := run([]string{"-fig", "cc", "-run-workers", "3", "-trace", path}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "cc", "-run-workers", "3", "-trace", path}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -14,24 +14,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"repro/internal/runctl"
 	"repro/internal/sfp"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sfpcalc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sfpcalc", flag.ContinueOnError)
 	nodesArg := fs.String("nodes", "", "per-node process failure probabilities, e.g. \"1e-5,2e-5;3e-5\"")
 	ksArg := fs.String("k", "", "per-node re-execution counts, e.g. \"1,1\"")
@@ -42,6 +48,9 @@ func run(args []string, w io.Writer) error {
 	demo := fs.Bool("demo", false, "run the Appendix A.2 example (Fig. 4a architecture)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cerr := runctl.Err(ctx); cerr != nil {
+		return cerr
 	}
 
 	if *demo {

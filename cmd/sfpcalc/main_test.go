@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestDemoReproducesAppendixA2(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-demo"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-demo"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -27,7 +28,7 @@ func TestDemoReproducesAppendixA2(t *testing.T) {
 
 func TestExplicitNodes(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-nodes", "4e-4", "-k", "2", "-period", "360", "-gamma", "1e-5"}, &sb)
+	err := run(context.Background(), []string{"-nodes", "4e-4", "-k", "2", "-period", "360", "-gamma", "1e-5"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestExplicitNodes(t *testing.T) {
 		t.Errorf("Fig. 3 N1^2 with k=2 should meet the goal:\n%s", sb.String())
 	}
 	sb.Reset()
-	err = run([]string{"-nodes", "4e-4", "-k", "1", "-period", "360", "-gamma", "1e-5"}, &sb)
+	err = run(context.Background(), []string{"-nodes", "4e-4", "-k", "1", "-period", "360", "-gamma", "1e-5"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,19 +48,19 @@ func TestExplicitNodes(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{}, &sb); err == nil {
+	if err := run(context.Background(), []string{}, &sb); err == nil {
 		t.Error("want error without -nodes")
 	}
-	if err := run([]string{"-nodes", "zzz"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "zzz"}, &sb); err == nil {
 		t.Error("want error for bad probability")
 	}
-	if err := run([]string{"-nodes", "0.1", "-k", "1,2"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "0.1", "-k", "1,2"}, &sb); err == nil {
 		t.Error("want error for k count mismatch")
 	}
-	if err := run([]string{"-nodes", "0.1", "-k", "x"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "0.1", "-k", "x"}, &sb); err == nil {
 		t.Error("want error for non-integer k")
 	}
-	if err := run([]string{"-nodes", "2.0"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "2.0"}, &sb); err == nil {
 		t.Error("want error for probability > 1")
 	}
 }

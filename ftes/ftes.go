@@ -33,6 +33,7 @@
 package ftes
 
 import (
+	"context"
 	"io"
 	"log/slog"
 
@@ -45,6 +46,8 @@ import (
 	"repro/internal/obs/obshttp"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
+	"repro/internal/runctl"
+	"repro/internal/runstate"
 	"repro/internal/sched"
 	"repro/internal/sfp"
 	"repro/internal/taskgen"
@@ -243,6 +246,22 @@ func OptimizeMappingConcurrent(ce *ConcurrentEvaluator, initial []int, cf Mappin
 	return mapping.OptimizeConcurrent(ce, initial, cf, params)
 }
 
+// OptimizeMappingContext is OptimizeMappingWith under a context: the
+// search consults ctx between tabu iterations and, once it is done,
+// returns the best mapping found so far together with an error wrapping
+// ErrCanceled. The partial result is deterministic for a given
+// cancellation point.
+func OptimizeMappingContext(ctx context.Context, ev *Evaluator, initial []int, cf MappingCostFunction, params MappingParams) (*MappingResult, error) {
+	return mapping.OptimizeContext(ctx, ev, initial, cf, params)
+}
+
+// OptimizeMappingConcurrentContext is OptimizeMappingConcurrent under a
+// context, with the same partial-result contract as
+// OptimizeMappingContext.
+func OptimizeMappingConcurrentContext(ctx context.Context, ce *ConcurrentEvaluator, initial []int, cf MappingCostFunction, params MappingParams) (*MappingResult, error) {
+	return mapping.OptimizeConcurrentContext(ctx, ce, initial, cf, params)
+}
+
 // Design strategy (Fig. 5).
 type (
 	// Options configures a design run.
@@ -268,6 +287,44 @@ const (
 func Run(app *Application, pl *Platform, opts Options) (*Result, error) {
 	return core.Run(app, pl, opts)
 }
+
+// RunContext is Run under a context. Cancellation is cooperative: the
+// run consults ctx between candidate architectures (never inside the
+// bit-identical evaluation arithmetic) and, once ctx is done, returns
+// the best complete solution found so far together with an error
+// wrapping ErrCanceled; the interrupted candidate is discarded whole.
+// A panic in a worker goroutine surfaces as a *PanicError instead of
+// crashing the process.
+func RunContext(ctx context.Context, app *Application, pl *Platform, opts Options) (*Result, error) {
+	return core.RunContext(ctx, app, pl, opts)
+}
+
+// Run control: cancellation and crash-safe resumable state.
+type (
+	// PanicError is a panic recovered from a worker goroutine, carrying
+	// the panic value and stack.
+	PanicError = runctl.PanicError
+	// Journal is the crash-safe append-only record of completed
+	// experiment rows that drives paperbench -resume.
+	Journal = runstate.Journal
+)
+
+// ErrCanceled is wrapped by every error a canceled run returns; test
+// with errors.Is. The underlying context error (context.Canceled or
+// context.DeadlineExceeded) is wrapped too.
+var ErrCanceled = runctl.ErrCanceled
+
+// OpenJournal opens (and with resume, replays) a crash-safe journal at
+// path. fingerprint pins the workload identity — build one with
+// JournalFingerprint; resuming with a different fingerprint fails
+// rather than mixing incompatible rows.
+func OpenJournal(path, fingerprint string, resume bool) (*Journal, error) {
+	return runstate.Open(path, fingerprint, resume)
+}
+
+// JournalFingerprint derives a stable hex fingerprint from any
+// JSON-marshalable description of the workload configuration.
+func JournalFingerprint(v any) (string, error) { return runstate.Fingerprint(v) }
 
 // Observability (internal/obs): hierarchical spans exportable as Chrome
 // trace_event JSON, a registry of counters, gauges and duration

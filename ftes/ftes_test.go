@@ -1,6 +1,9 @@
 package ftes_test
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"testing"
 
 	"repro/ftes"
@@ -123,5 +126,65 @@ func TestFacadeScheduleAndRedundancy(t *testing.T) {
 	}
 	if !ok || len(ks) != 1 {
 		t.Errorf("ReExecutionOpt: ok=%v ks=%v", ok, ks)
+	}
+}
+
+// TestFacadeRunContext exercises the cancellation surface of the facade:
+// RunContext matches Run when the context stays live, and a canceled
+// context yields the typed ErrCanceled.
+func TestFacadeRunContext(t *testing.T) {
+	inst, err := ftes.Generate(ftes.DefaultGenConfig(1, 20, 1e-11, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ftes.Options{Goal: inst.Goal, Strategy: ftes.OPT}
+	want, err := ftes.Run(inst.App, inst.Platform, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ftes.RunContext(context.Background(), inst.App, inst.Platform, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost || got.Feasible != want.Feasible {
+		t.Errorf("RunContext diverged from Run: cost %v vs %v", got.Cost, want.Cost)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ftes.RunContext(ctx, inst.App, inst.Platform, opts)
+	if !errors.Is(err, ftes.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled run returned no partial result")
+	}
+}
+
+// TestFacadeJournal round-trips a row through the exported journal API.
+func TestFacadeJournal(t *testing.T) {
+	fp, err := ftes.JournalFingerprint(map[string]int{"apps": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := ftes.OpenJournal(path, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("row-1", map[string]float64{"OPT": 90}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, err = ftes.OpenJournal(path, fp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var got map[string]float64
+	if !j.Lookup("row-1", &got) || got["OPT"] != 90 {
+		t.Errorf("restored row = %v", got)
 	}
 }

@@ -15,6 +15,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
+	"repro/internal/runctl"
 	"repro/internal/sched"
 	"repro/internal/sfp"
 	"repro/internal/ttp"
@@ -181,6 +184,20 @@ type Result struct {
 // fastest architecture of the same size; prune architectures whose
 // minimum cost cannot beat the best cost so far.
 func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
+	return RunContext(context.Background(), app, pl, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// consulted between candidate architectures (and, inside each candidate,
+// between tabu iterations) — never inside an evaluation, so every number
+// computed is bit-identical to an uncancelled run. A done context stops
+// the exploration at the next boundary and returns the best complete
+// solution found so far — a non-nil partial Result with its EvalStats
+// finalized — together with an error wrapping runctl.ErrCanceled. A
+// candidate whose mapping optimization was interrupted mid-search is
+// discarded, never folded into the partial result, so resuming and
+// re-running the exploration reproduces the same decisions.
+func RunContext(ctx context.Context, app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -191,15 +208,15 @@ func Run(app *appmodel.Application, pl *platform.Platform, opts Options) (*Resul
 		return nil, err
 	}
 	if opts.Workers > 1 {
-		return runParallel(app, pl, opts)
+		return runParallel(ctx, app, pl, opts)
 	}
-	return runSequential(app, pl, opts)
+	return runSequential(ctx, app, pl, opts)
 }
 
 // runSequential is the reference single-goroutine exploration; the
 // parallel path (parallel.go) replays candidate selection in this exact
 // order.
-func runSequential(app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
+func runSequential(ctx context.Context, app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
 	start := time.Now()
 	span := opts.runSpan(app)
 	defer span.End()
@@ -218,8 +235,35 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 	}
 	archPh := opts.Progress.Phase("core.archs")
 
+	// finalize closes out the run — stats, span attributes, metrics, log —
+	// on every exit path, complete or canceled, so a partial Result is as
+	// fully accounted as a finished one.
+	finalize := func() {
+		if ev != nil {
+			res.EvalStats = ev.Stats()
+		}
+		span.SetAttr(
+			obs.Bool("feasible", res.Feasible),
+			obs.Int("archs_explored", res.ArchsExplored),
+			obs.Int("evaluations", res.Evaluations))
+		elapsed := time.Since(start)
+		opts.publish(res, elapsed)
+		opts.logDone(span, res, elapsed)
+	}
+	canceled := func(cause error) (*Result, error) {
+		opts.Metrics.Counter("core.canceled").Add(1)
+		span.SetAttr(obs.Bool("canceled", true))
+		finalize()
+		return res, fmt.Errorf("core: canceled after %d architectures: %w", res.ArchsExplored, cause)
+	}
+
 	n, idx := 1, 0
 	for n <= enum.MaxNodes() {
+		// Between-candidate cancellation boundary: a done context returns
+		// the best complete solution so far, never a half-explored one.
+		if cerr := runctl.Err(ctx); cerr != nil {
+			return canceled(cerr)
+		}
 		ar := enum.Arch(n, idx)
 		if ar == nil { // size-n candidates exhausted
 			n++
@@ -258,9 +302,12 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 		ev.SetTraceSpan(archSpan)
 
 		// Fig. 5 line 7: best mapping for schedule length.
-		sl, err := mapping.Optimize(ev, nil, mapping.ScheduleLength, opts.MappingParams)
+		sl, err := mapping.OptimizeContext(ctx, ev, nil, mapping.ScheduleLength, opts.MappingParams)
 		if err != nil {
 			archSpan.End()
+			if errors.Is(err, runctl.ErrCanceled) {
+				return canceled(err)
+			}
 			return nil, err
 		}
 		res.Evaluations += sl.Evaluations
@@ -280,9 +327,12 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 
 		// Fig. 5 line 9: re-optimize the mapping for architecture cost,
 		// seeded with the schedulable mapping.
-		co, err := mapping.Optimize(ev, sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
+		co, err := mapping.OptimizeContext(ctx, ev, sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
 		if err != nil {
 			archSpan.End()
+			if errors.Is(err, runctl.ErrCanceled) {
+				return canceled(err)
+			}
 			return nil, err
 		}
 		res.Evaluations += co.Evaluations
@@ -310,16 +360,7 @@ func runSequential(app *appmodel.Application, pl *platform.Platform, opts Option
 		}
 		idx++
 	}
-	if ev != nil {
-		res.EvalStats = ev.Stats()
-	}
-	span.SetAttr(
-		obs.Bool("feasible", res.Feasible),
-		obs.Int("archs_explored", res.ArchsExplored),
-		obs.Int("evaluations", res.Evaluations))
-	elapsed := time.Since(start)
-	opts.publish(res, elapsed)
-	opts.logDone(span, res, elapsed)
+	finalize()
 	return res, nil
 }
 

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +13,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/runctl"
 )
 
 // runParallel is Run with Options.Workers > 1: candidate architectures of
@@ -27,7 +31,7 @@ import (
 // Invalidations stays 0 because every probe gets a fresh engine instead
 // of rebinding one. Result.ArchsExplored and Result.Evaluations count
 // replay-consumed work only and match runSequential exactly.
-func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
+func runParallel(ctx context.Context, app *appmodel.Application, pl *platform.Platform, opts Options) (*Result, error) {
 	start := time.Now()
 	span := opts.runSpan(app)
 	defer span.End()
@@ -47,7 +51,31 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 	// sequential path's counts exactly.
 	archPh := opts.Progress.Phase("core.archs")
 
+	// finalize closes out the run on every exit path — complete or
+	// canceled — so a partial Result carries fully accounted stats.
+	finalize := func() {
+		res.EvalStats = agg
+		span.SetAttr(
+			obs.Bool("feasible", res.Feasible),
+			obs.Int("archs_explored", res.ArchsExplored),
+			obs.Int("evaluations", res.Evaluations))
+		elapsed := time.Since(start)
+		opts.publish(res, elapsed)
+		opts.logDone(span, res, elapsed)
+	}
+	canceled := func(cause error) (*Result, error) {
+		opts.Metrics.Counter("core.canceled").Add(1)
+		span.SetAttr(obs.Bool("canceled", true))
+		finalize()
+		return res, fmt.Errorf("core: canceled after %d architectures: %w", res.ArchsExplored, cause)
+	}
+
 	for n := 1; n <= enum.MaxNodes(); n++ {
+		// Between-size-class cancellation boundary (probes below check the
+		// context between tabu iterations and trials themselves).
+		if cerr := runctl.Err(ctx); cerr != nil {
+			return canceled(cerr)
+		}
 		var cands []*platform.Architecture
 		for idx := 0; ; idx++ {
 			ar := enum.Arch(n, idx)
@@ -103,7 +131,7 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 					if int64(i) > minInfeasible.Load() {
 						return
 					}
-					results[i] = probeArch(app, pl, cands[i], opts, innerW, sfpc, span, i, true)
+					results[i] = probeArch(ctx, app, pl, cands[i], opts, innerW, sfpc, span, i, true)
 					r := &results[i]
 					if r.err == nil && !r.sl.Solution.Feasible() {
 						for {
@@ -118,7 +146,7 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 			wg.Wait()
 		} else if len(launch) == 1 {
 			// A lone launchable candidate gets the full worker budget.
-			results[launch[0]] = probeArch(app, pl, cands[launch[0]], opts, opts.Workers, sfpc, span, launch[0], false)
+			results[launch[0]] = probeArch(ctx, app, pl, cands[launch[0]], opts, opts.Workers, sfpc, span, launch[0], false)
 		}
 
 		// Replay the class in enumeration order, consuming probe results
@@ -133,9 +161,19 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 			if !r.done {
 				// Not launched or abandoned, yet reached by the replay:
 				// compute it now (nothing else is running).
-				*r = probeArch(app, pl, cands[i], opts, opts.Workers, sfpc, span, i, false)
+				*r = probeArch(ctx, app, pl, cands[i], opts, opts.Workers, sfpc, span, i, false)
 			}
 			if r.err != nil {
+				if errors.Is(r.err, runctl.ErrCanceled) {
+					// Fold in the work the class's finished probes did
+					// before handing back the best complete solution.
+					for k := range results {
+						if results[k].done {
+							agg.Add(results[k].stats)
+						}
+					}
+					return canceled(r.err)
+				}
 				return nil, r.err
 			}
 			res.Evaluations += r.sl.Evaluations
@@ -169,14 +207,7 @@ func runParallel(app *appmodel.Application, pl *platform.Platform, opts Options)
 			}
 		}
 	}
-	res.EvalStats = agg
-	span.SetAttr(
-		obs.Bool("feasible", res.Feasible),
-		obs.Int("archs_explored", res.ArchsExplored),
-		obs.Int("evaluations", res.Evaluations))
-	elapsed := time.Since(start)
-	opts.publish(res, elapsed)
-	opts.logDone(span, res, elapsed)
+	finalize()
 	return res, nil
 }
 
@@ -192,8 +223,13 @@ type probeResult struct {
 // probeArch runs the two mapping optimizations of Fig. 5 lines 7–9 for
 // one candidate on a fresh concurrent engine with the given worker count.
 // runSpan/idx/speculative feed the candidate's arch span; concurrent
-// probes become concurrent sibling spans under the run.
-func probeArch(app *appmodel.Application, pl *platform.Platform, ar *platform.Architecture, opts Options, workers int, sfpc *evalengine.SFPCache, runSpan *obs.Span, idx int, speculative bool) probeResult {
+// probes become concurrent sibling spans under the run. A panic anywhere
+// in the probe — probes run on speculative goroutines, where an escaped
+// panic would kill the process — is recovered into r.err as a
+// *runctl.PanicError.
+func probeArch(ctx context.Context, app *appmodel.Application, pl *platform.Platform, ar *platform.Architecture, opts Options, workers int, sfpc *evalengine.SFPCache, runSpan *obs.Span, idx int, speculative bool) (r probeResult) {
+	r.done = true
+	defer runctl.Recover(fmt.Sprintf("core probe (size %d, index %d)", len(ar.Nodes), idx), &r.err)
 	span := runSpan.Child("arch",
 		obs.Int("nodes", len(ar.Nodes)),
 		obs.Int("index", idx),
@@ -204,10 +240,9 @@ func probeArch(app *appmodel.Application, pl *platform.Platform, ar *platform.Ar
 	ce.SetMetrics(opts.Metrics)
 	ce.SetProgress(opts.Progress)
 	ce.Worker(0).SetTraceSpan(span)
-	r := probeResult{done: true}
-	r.sl, r.err = mapping.OptimizeConcurrent(ce, nil, mapping.ScheduleLength, opts.MappingParams)
+	r.sl, r.err = mapping.OptimizeConcurrentContext(ctx, ce, nil, mapping.ScheduleLength, opts.MappingParams)
 	if r.err == nil && r.sl.Solution.Feasible() {
-		r.co, r.err = mapping.OptimizeConcurrent(ce, r.sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
+		r.co, r.err = mapping.OptimizeConcurrentContext(ctx, ce, r.sl.Mapping, mapping.ArchitectureCost, opts.MappingParams)
 	}
 	if r.err == nil {
 		span.SetAttr(obs.Bool("feasible", r.sl.Solution.Feasible()))

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/mapping"
+	"repro/internal/runctl"
 	"repro/internal/sched"
 	"repro/internal/sfp"
 	"repro/internal/taskgen"
@@ -13,15 +16,19 @@ import (
 // AblationSlack compares the paper's shared recovery slack against the
 // non-shared per-process baseline: OPT acceptance rates at the given
 // point under both models. Shared slack should accept at least as many
-// applications.
-func AblationSlack(cfg Config, pt Point) (*Table, error) {
+// applications. Cancellation returns the completed rows with the typed
+// error.
+func AblationSlack(ctx context.Context, cfg Config, pt Point) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Ablation — recovery slack model (SER=%.0e, HPD=%g%%, ArC=%g)", pt.SER, pt.HPD, pt.ArC),
 		[]string{"slack model", "MIN", "MAX", "OPT"})
 	for _, model := range []sched.SlackModel{sched.SlackShared, sched.SlackPerProcess} {
 		c := cfg
 		c.Model = model
-		r, err := Acceptance(c, pt)
+		r, err := Acceptance(ctx, c, pt)
 		if err != nil {
+			if errors.Is(err, runctl.ErrCanceled) {
+				return t, err
+			}
 			return nil, err
 		}
 		t.AddRow([]string{
@@ -37,7 +44,7 @@ func AblationSlack(cfg Config, pt Point) (*Table, error) {
 // AblationMapping compares the full tabu search against a greedy-only
 // mapping (the tabu loop disabled after the constructive initial mapping):
 // OPT acceptance at the given point.
-func AblationMapping(cfg Config, pt Point) (*Table, error) {
+func AblationMapping(ctx context.Context, cfg Config, pt Point) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Ablation — mapping search (SER=%.0e, HPD=%g%%, ArC=%g)", pt.SER, pt.HPD, pt.ArC),
 		[]string{"mapping", "MIN", "MAX", "OPT"})
 	variants := []struct {
@@ -50,8 +57,11 @@ func AblationMapping(cfg Config, pt Point) (*Table, error) {
 	for _, v := range variants {
 		c := cfg
 		c.MappingParams = v.params
-		r, err := Acceptance(c, pt)
+		r, err := Acceptance(ctx, c, pt)
 		if err != nil {
+			if errors.Is(err, runctl.ErrCanceled) {
+				return t, err
+			}
 			return nil, err
 		}
 		t.AddRow([]string{
@@ -73,10 +83,13 @@ func AblationMapping(cfg Config, pt Point) (*Table, error) {
 // until the goal is met. The lockstep policy wastes re-executions on the
 // highly hardened nodes; fewer re-executions mean less recovery slack in
 // the schedule.
-func AblationGradient(cfg Config, ser float64) (*Table, error) {
+func AblationGradient(ctx context.Context, cfg Config, ser float64) (*Table, error) {
 	var guided, uniform, apps int
 	for _, n := range cfg.Procs {
 		for i := 0; i < cfg.Apps; i++ {
+			if cerr := runctl.Err(ctx); cerr != nil {
+				return nil, fmt.Errorf("experiments: gradient ablation: %w", cerr)
+			}
 			seed := cfg.Seed + int64(i) + int64(n)*1000003
 			inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, n, ser, 25))
 			if err != nil {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/runctl"
 	"repro/internal/taskgen"
 )
 
@@ -14,7 +16,7 @@ import (
 // abstraction). The idealized bus can only help, so its acceptance is an
 // upper bound; the gap measures how much the slot-table timing matters at
 // this workload scale.
-func AblationBus(cfg Config, pt Point) (*Table, error) {
+func AblationBus(ctx context.Context, cfg Config, pt Point) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Ablation — bus model (SER=%.0e, HPD=%g%%, ArC=%g)", pt.SER, pt.HPD, pt.ArC),
 		[]string{"bus", "MIN", "MAX", "OPT"})
 	for _, ideal := range []bool{false, true} {
@@ -22,6 +24,9 @@ func AblationBus(cfg Config, pt Point) (*Table, error) {
 		total := 0
 		for _, n := range cfg.Procs {
 			for i := 0; i < cfg.Apps; i++ {
+				if cerr := runctl.Err(ctx); cerr != nil {
+					return t, fmt.Errorf("experiments: bus ablation: %w", cerr)
+				}
 				seed := cfg.Seed + int64(i) + int64(n)*1000003
 				gcfg := taskgen.DefaultConfig(seed, n, pt.SER, pt.HPD)
 				inst, err := taskgen.Generate(gcfg)
@@ -35,7 +40,7 @@ func AblationBus(cfg Config, pt Point) (*Table, error) {
 				}
 				total++
 				for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
-					res, err := core.Run(inst.App, inst.Platform, core.Options{
+					res, err := core.RunContext(ctx, inst.App, inst.Platform, core.Options{
 						Goal:          inst.Goal,
 						Strategy:      s,
 						MaxCost:       pt.ArC,

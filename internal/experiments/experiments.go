@@ -10,15 +10,20 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/evalengine"
 	"repro/internal/mapping"
 	"repro/internal/obs"
+	"repro/internal/runctl"
+	"repro/internal/runstate"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
 )
@@ -27,6 +32,11 @@ import (
 // AcceptanceStats calls; the fail-fast regression test reads it to prove
 // that a failing batch does not run to completion.
 var jobsStarted atomic.Int64
+
+// testAppHook, when non-nil, runs at the start of every application job.
+// Tests use it to inject panics at a deterministic point inside the
+// batch goroutines; it is never set in production.
+var testAppHook func(seed int64)
 
 // Config controls batch size and execution of an experiment run.
 type Config struct {
@@ -65,6 +75,40 @@ type Config struct {
 	Metrics  *obs.Registry
 	Progress *obs.Progress
 	Log      *obs.Logger
+	// AppTimeout, when > 0, puts a deadline on each application's design
+	// runs. An application that exceeds it is counted as rejected for
+	// every strategy (and in the experiments.app_timeouts counter) and the
+	// sweep continues — a single pathological instance slows a row down,
+	// it does not kill the run.
+	AppTimeout time.Duration
+	// Journal, when non-nil, makes the sweep crash-safe: every completed
+	// row (acceptance point or runtime-study row) is recorded under a
+	// deterministic key, and a later run with the same configuration
+	// restores recorded rows instead of recomputing them. Deterministic
+	// generation makes restored and recomputed rows byte-identical.
+	Journal *runstate.Journal
+	// RowDone, when non-nil, is called with the journal key of each row
+	// after it was freshly computed (journal-restored rows do not fire
+	// it). Tests use it to cancel at exact row boundaries.
+	RowDone func(key string)
+}
+
+// rowDone journals a freshly computed row and fires the RowDone hook.
+func (c Config) rowDone(key string, v any) error {
+	if c.Journal != nil {
+		if err := c.Journal.Record(key, v); err != nil {
+			return err
+		}
+	}
+	if c.RowDone != nil {
+		c.RowDone(key)
+	}
+	return nil
+}
+
+// rowRestore consults the journal for a previously completed row.
+func (c Config) rowRestore(key string, v any) bool {
+	return c.Journal != nil && c.Journal.Lookup(key, v)
 }
 
 // DefaultConfig returns a configuration sized for minutes-scale runs.
@@ -89,17 +133,33 @@ type Point struct {
 // Rates maps each strategy to its acceptance percentage at a point.
 type Rates map[core.Strategy]float64
 
+// pointKey is the journal key of one acceptance point. The slack model
+// and tabu tuning participate because the ablation studies revisit the
+// same (SER, HPD, ArC) coordinates under different models; the figure
+// name deliberately does not, so identical points shared between figures
+// (Fig. 6a and 6c both evaluate SER=1e-11, HPD=5, ArC=20) are computed
+// once per journal.
+func (c Config) pointKey(pt Point) string {
+	mp := c.MappingParams
+	return fmt.Sprintf("acceptance|model=%d|tabu=%d,%d,%d|graphs=%d|ser=%g|hpd=%g|arc=%g",
+		c.Model, mp.TabuTenure, mp.MaxNoImprove, mp.MaxIterations, c.Graphs, pt.SER, pt.HPD, pt.ArC)
+}
+
 // Acceptance evaluates all three strategies at the given point over the
 // configured application batch and returns the acceptance percentages.
-func Acceptance(cfg Config, pt Point) (Rates, error) {
-	rates, _, err := AcceptanceStats(cfg, pt)
+// The context is consulted between applications and between the
+// strategies of one application; a done context drains the in-flight
+// jobs and returns an error wrapping runctl.ErrCanceled.
+func Acceptance(ctx context.Context, cfg Config, pt Point) (Rates, error) {
+	rates, _, err := AcceptanceStats(ctx, cfg, pt)
 	return rates, err
 }
 
 // AcceptanceStats is Acceptance plus the per-strategy evaluation-engine
 // counters summed over the batch, for the runtime instrumentation
-// reports.
-func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.Stats, error) {
+// reports. A point restored from cfg.Journal returns its recorded rates
+// with empty stats (no work was performed).
+func AcceptanceStats(ctx context.Context, cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.Stats, error) {
 	strategies := []core.Strategy{core.MIN, core.MAX, core.OPT}
 	type job struct {
 		seed  int64
@@ -113,6 +173,26 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 	}
 	if len(jobs) == 0 {
 		return nil, nil, fmt.Errorf("experiments: empty batch (Apps=%d, Procs=%v)", cfg.Apps, cfg.Procs)
+	}
+	key := cfg.pointKey(pt)
+	if saved := make(map[string]float64); cfg.rowRestore(key, &saved) {
+		// JSON round-trips float64 exactly, so a restored rate formats to
+		// the same bytes the original run printed.
+		rates := make(Rates, len(strategies))
+		for _, s := range strategies {
+			rates[s] = saved[s.String()]
+		}
+		appPh := cfg.Progress.Phase("experiments.apps")
+		appPh.AddTotal(int64(len(jobs)))
+		appPh.Add(int64(len(jobs)))
+		cfg.Metrics.Counter("experiments.rows_restored").Add(1)
+		cfg.Log.Info("acceptance point restored from journal",
+			"ser", pt.SER, "hpd", pt.HPD, "arc", pt.ArC, "key", key)
+		return rates, map[core.Strategy]evalengine.Stats{}, nil
+	}
+	if cerr := runctl.Err(ctx); cerr != nil {
+		cfg.Metrics.Counter("experiments.canceled").Add(1)
+		return nil, nil, fmt.Errorf("experiments: acceptance point: %w", cerr)
 	}
 	ptSpan := cfg.Span.Child("acceptance",
 		obs.Float("ser", pt.SER),
@@ -130,7 +210,7 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 	// A failing batch fails fast: the first error stops new jobs from
 	// launching and makes in-flight jobs bail before their next strategy,
 	// instead of grinding through the rest of the batch for a result that
-	// is discarded anyway.
+	// is discarded anyway. Cancellation rides the same machinery.
 	var stop atomic.Bool
 	record := func(err error) {
 		mu.Lock()
@@ -139,6 +219,79 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 		}
 		mu.Unlock()
 		stop.Store(true)
+	}
+	// runApp runs the three strategies for one application. A panic
+	// anywhere inside — these run on batch goroutines, where an escaped
+	// panic would kill the whole process — comes back as a
+	// *runctl.PanicError.
+	runApp := func(jb job) (err error) {
+		defer runctl.Recover(fmt.Sprintf("experiments app (seed %d, %d procs)", jb.seed, jb.procs), &err)
+		if testAppHook != nil {
+			testAppHook(jb.seed)
+		}
+		appSpan := ptSpan.Child("app",
+			obs.Int64("seed", jb.seed),
+			obs.Int("processes", jb.procs))
+		defer appSpan.End()
+		appCtx := ctx
+		if cfg.AppTimeout > 0 {
+			parent := ctx
+			if parent == nil {
+				parent = context.Background()
+			}
+			var cancel context.CancelFunc
+			appCtx, cancel = context.WithTimeout(parent, cfg.AppTimeout)
+			defer cancel()
+		}
+		gcfg := taskgen.DefaultConfig(jb.seed, jb.procs, pt.SER, pt.HPD)
+		gcfg.NumGraphs = cfg.Graphs
+		inst, err := taskgen.Generate(gcfg)
+		if err != nil {
+			return err
+		}
+		for _, s := range strategies {
+			if stop.Load() {
+				return nil
+			}
+			if cerr := runctl.Err(ctx); cerr != nil {
+				return cerr
+			}
+			res, err := core.RunContext(appCtx, inst.App, inst.Platform, core.Options{
+				Goal:          inst.Goal,
+				Strategy:      s,
+				MaxCost:       pt.ArC,
+				Model:         cfg.Model,
+				MappingParams: cfg.MappingParams,
+				Workers:       cfg.RunWorkers,
+				ParentSpan:    appSpan,
+				Metrics:       cfg.Metrics,
+				Progress:      cfg.Progress,
+				Log:           cfg.Log,
+			})
+			if err != nil {
+				// A per-app deadline miss while the sweep itself is live:
+				// the application counts as rejected for every strategy and
+				// the batch moves on.
+				if errors.Is(err, context.DeadlineExceeded) && runctl.Err(ctx) == nil {
+					cfg.Metrics.Counter("experiments.app_timeouts").Add(1)
+					cfg.Log.Warn("application timed out, counted as rejected",
+						"seed", jb.seed, "processes", jb.procs,
+						"strategy", s.String(), "timeout", cfg.AppTimeout)
+					appSpan.SetAttr(obs.Bool("timeout", true))
+					return nil
+				}
+				return err
+			}
+			mu.Lock()
+			if res.Feasible {
+				counts[s]++
+			}
+			agg := stats[s]
+			agg.Add(res.EvalStats)
+			stats[s] = agg
+			mu.Unlock()
+		}
+		return nil
 	}
 	sem := make(chan struct{}, cfg.workers())
 	var wg sync.WaitGroup
@@ -156,58 +309,32 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 			}
 			jobsStarted.Add(1)
 			defer appPh.Add(1) // abandoned jobs still count toward the batch
-			appSpan := ptSpan.Child("app",
-				obs.Int64("seed", jb.seed),
-				obs.Int("processes", jb.procs))
-			defer appSpan.End()
-			gcfg := taskgen.DefaultConfig(jb.seed, jb.procs, pt.SER, pt.HPD)
-			gcfg.NumGraphs = cfg.Graphs
-			inst, err := taskgen.Generate(gcfg)
-			if err != nil {
+			if err := runApp(jb); err != nil {
 				record(err)
-				return
-			}
-			for _, s := range strategies {
-				if stop.Load() {
-					return
-				}
-				res, err := core.Run(inst.App, inst.Platform, core.Options{
-					Goal:          inst.Goal,
-					Strategy:      s,
-					MaxCost:       pt.ArC,
-					Model:         cfg.Model,
-					MappingParams: cfg.MappingParams,
-					Workers:       cfg.RunWorkers,
-					ParentSpan:    appSpan,
-					Metrics:       cfg.Metrics,
-					Progress:      cfg.Progress,
-					Log:           cfg.Log,
-				})
-				if err != nil {
-					record(err)
-					return
-				}
-				mu.Lock()
-				if res.Feasible {
-					counts[s]++
-				}
-				agg := stats[s]
-				agg.Add(res.EvalStats)
-				stats[s] = agg
-				mu.Unlock()
 			}
 		}(jb)
 	}
 	wg.Wait()
 	if firstErr != nil {
+		if errors.Is(firstErr, runctl.ErrCanceled) {
+			cfg.Metrics.Counter("experiments.canceled").Add(1)
+			cfg.Log.Info("acceptance point canceled",
+				"ser", pt.SER, "hpd", pt.HPD, "arc", pt.ArC, "span", ptSpan.ID())
+			return nil, nil, fmt.Errorf("experiments: acceptance point: %w", firstErr)
+		}
 		cfg.Log.Error("acceptance point failed",
 			"ser", pt.SER, "hpd", pt.HPD, "arc", pt.ArC,
 			"err", firstErr.Error(), "span", ptSpan.ID())
 		return nil, nil, firstErr
 	}
 	rates := make(Rates, len(strategies))
+	payload := make(map[string]float64, len(strategies))
 	for _, s := range strategies {
 		rates[s] = 100 * float64(counts[s]) / float64(len(jobs))
+		payload[s.String()] = rates[s]
+	}
+	if err := cfg.rowDone(key, payload); err != nil {
+		return nil, nil, err
 	}
 	cfg.Log.Info("acceptance point done",
 		"ser", pt.SER, "hpd", pt.HPD, "arc", pt.ArC, "jobs", len(jobs),
@@ -216,13 +343,16 @@ func AcceptanceStats(cfg Config, pt Point) (Rates, map[core.Strategy]evalengine.
 	return rates, stats, nil
 }
 
-// Sweep evaluates a list of points and returns the rates in order.
-func Sweep(cfg Config, pts []Point) ([]Rates, error) {
+// Sweep evaluates a list of points and returns the rates in order. On
+// cancellation the returned slice still carries every completed point —
+// nil entries mark the rest — alongside the typed error, so callers can
+// render partial tables.
+func Sweep(ctx context.Context, cfg Config, pts []Point) ([]Rates, error) {
 	out := make([]Rates, len(pts))
 	for i, pt := range pts {
-		r, err := Acceptance(cfg, pt)
+		r, err := Acceptance(ctx, cfg, pt)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: point %+v: %w", pt, err)
+			return out, fmt.Errorf("experiments: point %+v: %w", pt, err)
 		}
 		out[i] = r
 	}
@@ -239,15 +369,26 @@ var (
 	ArCs = []float64{15, 20, 25}
 )
 
+// cell formats one strategy's acceptance rate, or "-" when the point was
+// not reached before cancellation.
+func cell(r Rates, s core.Strategy) string {
+	if r == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", r[s])
+}
+
 // Fig6a reproduces Fig. 6a: % accepted architectures as a function of HPD
-// for SER = 1e-11 and ArC = 20.
-func Fig6a(cfg Config) (*Table, error) {
+// for SER = 1e-11 and ArC = 20. On cancellation it returns the partial
+// table — completed points filled in, the rest "-" — together with the
+// typed error, so the operator keeps every finished row.
+func Fig6a(ctx context.Context, cfg Config) (*Table, error) {
 	pts := make([]Point, len(HPDs))
 	for i, hpd := range HPDs {
 		pts[i] = Point{SER: 1e-11, HPD: hpd, ArC: 20}
 	}
-	rates, err := Sweep(cfg, pts)
-	if err != nil {
+	rates, err := Sweep(ctx, cfg, pts)
+	if err != nil && !errors.Is(err, runctl.ErrCanceled) {
 		return nil, err
 	}
 	t := NewTable("Fig. 6a — % accepted vs HPD (SER=1e-11, ArC=20)",
@@ -255,22 +396,26 @@ func Fig6a(cfg Config) (*Table, error) {
 	for _, s := range []core.Strategy{core.MAX, core.MIN, core.OPT} {
 		row := []string{s.String()}
 		for i := range pts {
-			row = append(row, fmt.Sprintf("%.0f", rates[i][s]))
+			row = append(row, cell(rates[i], s))
 		}
 		t.AddRow(row)
 	}
-	return t, nil
+	return t, err
 }
 
 // Fig6b reproduces the Fig. 6b table: % accepted for each HPD and maximum
-// architecture cost at SER = 1e-11.
-func Fig6b(cfg Config) (*Table, error) {
+// architecture cost at SER = 1e-11. On cancellation the rows completed so
+// far come back with the typed error.
+func Fig6b(ctx context.Context, cfg Config) (*Table, error) {
 	t := NewTable("Fig. 6b — % accepted by HPD and ArC (SER=1e-11)",
 		[]string{"HPD", "ArC", "MAX", "MIN", "OPT"})
 	for _, hpd := range HPDs {
 		for _, arc := range ArCs {
-			r, err := Acceptance(cfg, Point{SER: 1e-11, HPD: hpd, ArC: arc})
+			r, err := Acceptance(ctx, cfg, Point{SER: 1e-11, HPD: hpd, ArC: arc})
 			if err != nil {
+				if errors.Is(err, runctl.ErrCanceled) {
+					return t, err
+				}
 				return nil, err
 			}
 			t.AddRow([]string{
@@ -287,19 +432,23 @@ func Fig6b(cfg Config) (*Table, error) {
 
 // Fig6c reproduces Fig. 6c: % accepted as a function of SER for HPD = 5%
 // and ArC = 20.
-func Fig6c(cfg Config) (*Table, error) { return serSweep(cfg, 5, "Fig. 6c") }
+func Fig6c(ctx context.Context, cfg Config) (*Table, error) {
+	return serSweep(ctx, cfg, 5, "Fig. 6c")
+}
 
 // Fig6d reproduces Fig. 6d: % accepted as a function of SER for HPD =
 // 100% and ArC = 20.
-func Fig6d(cfg Config) (*Table, error) { return serSweep(cfg, 100, "Fig. 6d") }
+func Fig6d(ctx context.Context, cfg Config) (*Table, error) {
+	return serSweep(ctx, cfg, 100, "Fig. 6d")
+}
 
-func serSweep(cfg Config, hpd float64, name string) (*Table, error) {
+func serSweep(ctx context.Context, cfg Config, hpd float64, name string) (*Table, error) {
 	pts := make([]Point, len(SERs))
 	for i, ser := range SERs {
 		pts[i] = Point{SER: ser, HPD: hpd, ArC: 20}
 	}
-	rates, err := Sweep(cfg, pts)
-	if err != nil {
+	rates, err := Sweep(ctx, cfg, pts)
+	if err != nil && !errors.Is(err, runctl.ErrCanceled) {
 		return nil, err
 	}
 	t := NewTable(fmt.Sprintf("%s — %% accepted vs SER (HPD=%g%%, ArC=20)", name, hpd),
@@ -307,11 +456,11 @@ func serSweep(cfg Config, hpd float64, name string) (*Table, error) {
 	for _, s := range []core.Strategy{core.MAX, core.MIN, core.OPT} {
 		row := []string{s.String()}
 		for i := range pts {
-			row = append(row, fmt.Sprintf("%.0f", rates[i][s]))
+			row = append(row, cell(rates[i], s))
 		}
 		t.AddRow(row)
 	}
-	return t, nil
+	return t, err
 }
 
 func labels(xs []float64, format string) []string {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func tinyConfig() Config {
 }
 
 func TestAcceptanceBasics(t *testing.T) {
-	r, err := Acceptance(tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
+	r, err := Acceptance(context.Background(), tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,18 +33,18 @@ func TestAcceptanceBasics(t *testing.T) {
 
 func TestAcceptanceEmptyBatch(t *testing.T) {
 	cfg := Config{Apps: 0, Procs: nil}
-	if _, err := Acceptance(cfg, Point{SER: 1e-11, HPD: 25, ArC: 20}); err == nil {
+	if _, err := Acceptance(context.Background(), cfg, Point{SER: 1e-11, HPD: 25, ArC: 20}); err == nil {
 		t.Error("want error for empty batch")
 	}
 }
 
 func TestAcceptanceDeterministic(t *testing.T) {
 	pt := Point{SER: 1e-11, HPD: 25, ArC: 20}
-	a, err := Acceptance(tinyConfig(), pt)
+	a, err := Acceptance(context.Background(), tinyConfig(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Acceptance(tinyConfig(), pt)
+	b, err := Acceptance(context.Background(), tinyConfig(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig6aShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tab, err := Fig6a(tinyConfig())
+	tab, err := Fig6a(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestSerSweepShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tab, err := Fig6c(tinyConfig())
+	tab, err := Fig6c(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestAblationGradient(t *testing.T) {
-	tab, err := AblationGradient(tinyConfig(), 1e-10)
+	tab, err := AblationGradient(context.Background(), tinyConfig(), 1e-10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestAblationSlack(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tab, err := AblationSlack(tinyConfig(), Point{SER: 1e-10, HPD: 25, ArC: 20})
+	tab, err := AblationSlack(context.Background(), tinyConfig(), Point{SER: 1e-10, HPD: 25, ArC: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestAblationMapping(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tab, err := AblationMapping(tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
+	tab, err := AblationMapping(context.Background(), tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestAblationMapping(t *testing.T) {
 }
 
 func TestPolicyComparison(t *testing.T) {
-	tab, err := PolicyComparison(tinyConfig(), 1e-10, 0.5)
+	tab, err := PolicyComparison(context.Background(), tinyConfig(), 1e-10, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestPolicyComparison(t *testing.T) {
 }
 
 func TestSimulationStudy(t *testing.T) {
-	tab, err := SimulationStudy(tinyConfig(), 1e-11, 50)
+	tab, err := SimulationStudy(context.Background(), tinyConfig(), 1e-11, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestSimulationStudy(t *testing.T) {
 }
 
 func TestRuntimeStudy(t *testing.T) {
-	tab, err := RuntimeStudy(tinyConfig(), 1e-11, 25)
+	tab, err := RuntimeStudy(context.Background(), tinyConfig(), 1e-11, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestRuntimeStudy(t *testing.T) {
 func TestAcceptanceMultiGraph(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Graphs = 2
-	r, err := Acceptance(cfg, Point{SER: 1e-11, HPD: 25, ArC: 20})
+	r, err := Acceptance(context.Background(), cfg, Point{SER: 1e-11, HPD: 25, ArC: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestAblationBus(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tab, err := AblationBus(tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
+	tab, err := AblationBus(context.Background(), tinyConfig(), Point{SER: 1e-11, HPD: 25, ArC: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestAblationBus(t *testing.T) {
 func TestAcceptanceStatsFailFast(t *testing.T) {
 	cfg := Config{Apps: 50, Procs: []int{20}, Seed: 3, Workers: 1}
 	before := jobsStarted.Load()
-	_, _, err := AcceptanceStats(cfg, Point{SER: -1, HPD: 25, ArC: 20})
+	_, _, err := AcceptanceStats(context.Background(), cfg, Point{SER: -1, HPD: 25, ArC: 20})
 	if err == nil {
 		t.Fatal("want error for negative SER")
 	}
@@ -323,13 +324,13 @@ func TestAcceptanceRunWorkers(t *testing.T) {
 		t.Skip("runs the batch twice")
 	}
 	pt := Point{SER: 1e-11, HPD: 25, ArC: 20}
-	want, err := Acceptance(tinyConfig(), pt)
+	want, err := Acceptance(context.Background(), tinyConfig(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := tinyConfig()
 	cfg.RunWorkers = 3
-	got, err := Acceptance(cfg, pt)
+	got, err := Acceptance(context.Background(), cfg, pt)
 	if err != nil {
 		t.Fatal(err)
 	}

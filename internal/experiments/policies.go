@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/appmodel"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/redundancy"
 	"repro/internal/replication"
+	"repro/internal/runctl"
 	"repro/internal/taskgen"
 	"repro/internal/ttp"
 )
@@ -20,7 +22,7 @@ import (
 // — on the same mapped synthetic instances (two fastest node types at the
 // middle hardening level, greedy mapping) and reports feasibility counts
 // and mean worst-case schedule lengths (experiments E12/E13).
-func PolicyComparison(cfg Config, ser float64, chiAlpha float64) (*Table, error) {
+func PolicyComparison(ctx context.Context, cfg Config, ser float64, chiAlpha float64) (*Table, error) {
 	results := map[string]*policyAgg{
 		"re-execution":  {},
 		"checkpointing": {},
@@ -29,6 +31,9 @@ func PolicyComparison(cfg Config, ser float64, chiAlpha float64) (*Table, error)
 	instances := 0
 	for _, n := range cfg.Procs {
 		for i := 0; i < cfg.Apps; i++ {
+			if cerr := runctl.Err(ctx); cerr != nil {
+				return nil, fmt.Errorf("experiments: policy comparison: %w", cerr)
+			}
 			seed := cfg.Seed + int64(i) + int64(n)*1000003
 			inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, n, ser, 25))
 			if err != nil {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/execsim"
+	"repro/internal/runctl"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
 	"repro/internal/ttp"
@@ -19,7 +21,7 @@ import (
 // isolation, so ratios slightly above 1 on multi-node systems quantify
 // the cross-node coupling that accounting abstracts away (see the sched
 // package comment); values ≤ 1 show where it is simply pessimistic.
-func SimulationStudy(cfg Config, ser float64, iterations int) (*Table, error) {
+func SimulationStudy(ctx context.Context, cfg Config, ser float64, iterations int) (*Table, error) {
 	if iterations <= 0 {
 		iterations = 200
 	}
@@ -35,12 +37,15 @@ func SimulationStudy(cfg Config, ser float64, iterations int) (*Table, error) {
 		)
 		for _, n := range cfg.Procs {
 			for i := 0; i < cfg.Apps; i++ {
+				if cerr := runctl.Err(ctx); cerr != nil {
+					return t, fmt.Errorf("experiments: simulation study: %w", cerr)
+				}
 				seed := cfg.Seed + int64(i) + int64(n)*1000003
 				inst, err := taskgen.Generate(taskgen.DefaultConfig(seed, n, ser, 25))
 				if err != nil {
 					return nil, err
 				}
-				res, err := core.Run(inst.App, inst.Platform, core.Options{
+				res, err := core.RunContext(ctx, inst.App, inst.Platform, core.Options{
 					Goal:          inst.Goal,
 					Strategy:      core.OPT,
 					Model:         model,

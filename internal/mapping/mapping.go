@@ -21,6 +21,8 @@
 package mapping
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -28,6 +30,7 @@ import (
 	"repro/internal/evalengine"
 	"repro/internal/obs"
 	"repro/internal/redundancy"
+	"repro/internal/runctl"
 )
 
 // CostFunction selects the objective of the mapping optimization.
@@ -123,8 +126,20 @@ func lessObj(a, b [3]float64) bool {
 // mapping (nil lets the heuristic construct a greedy one). The returned
 // solution may be infeasible if no feasible mapping was found — the
 // caller (DesignStrategy) then grows the architecture.
+//
+// Optimize is not cancellable; long-running callers use OptimizeContext.
 func Optimize(ev *evalengine.Evaluator, initial []int, cf CostFunction, params Params) (*Result, error) {
-	return optimize(ev, nil, initial, cf, params)
+	return optimize(context.Background(), ev, nil, initial, cf, params)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: the context
+// is consulted between tabu iterations — never inside an evaluation, so
+// the arithmetic stays bit-identical — and a done context stops the
+// search at the next iteration boundary. The canceled search returns the
+// best solution found so far (at minimum the fully evaluated initial
+// mapping, never nil) together with an error wrapping runctl.ErrCanceled.
+func OptimizeContext(ctx context.Context, ev *evalengine.Evaluator, initial []int, cf CostFunction, params Params) (*Result, error) {
+	return optimize(ctx, ev, nil, initial, cf, params)
 }
 
 // optimize is the tabu search with a pluggable neighborhood evaluator:
@@ -134,7 +149,7 @@ func Optimize(ev *evalengine.Evaluator, initial []int, cf CostFunction, params P
 // solutions, and the winner selection in the exact order of the
 // sequential path, so any batch that returns the same solutions yields
 // the identical trajectory (see OptimizeConcurrent).
-func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solution, error), initial []int, cf CostFunction, params Params) (*Result, error) {
+func optimize(ctx context.Context, ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solution, error), initial []int, cf CostFunction, params Params) (*Result, error) {
 	params = params.withDefaults()
 	p := ev.Problem()
 	n := p.App.NumProcesses()
@@ -204,6 +219,15 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 
 	noImprove := 0
 	for iter := 0; iter < params.MaxIterations && noImprove < params.MaxNoImprove; iter++ {
+		// Cancellation is checked once per iteration — between evaluations,
+		// never inside them — so a canceled search stops on an iteration
+		// boundary with the deterministic best-so-far result in hand.
+		if cerr := runctl.Err(ctx); cerr != nil {
+			reg.Counter("mapping.canceled").Add(1)
+			span.SetAttr(obs.Bool("canceled", true))
+			best.Evaluations = evals
+			return best, fmt.Errorf("mapping: canceled at iteration %d: %w", iter, cerr)
+		}
 		if numNodes == 1 {
 			break // nothing to move
 		}
@@ -251,6 +275,15 @@ func optimize(ev *evalengine.Evaluator, batch func([][]int) ([]*redundancy.Solut
 		ev.SetTraceSpan(span)
 		if err != nil {
 			iterSpan.End()
+			// A batch interrupted by cancellation still owes the caller the
+			// best-so-far partial result; a genuine evaluation failure does
+			// not (there is no trustworthy solution to return).
+			if errors.Is(err, runctl.ErrCanceled) {
+				reg.Counter("mapping.canceled").Add(1)
+				span.SetAttr(obs.Bool("canceled", true))
+				best.Evaluations = evals
+				return best, fmt.Errorf("mapping: canceled at iteration %d: %w", iter, err)
+			}
 			return nil, err
 		}
 		// Move ordering: objective first, then the waiting priority of

@@ -1,13 +1,21 @@
 package mapping
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/evalengine"
 	"repro/internal/obs"
 	"repro/internal/redundancy"
+	"repro/internal/runctl"
 )
+
+// testWorkerHook, when non-nil, runs inside each worker just before a
+// trial is evaluated. Tests use it to inject panics and cancellations at
+// deterministic points in the fan-out; it is never set in production.
+var testWorkerHook func(wid int, trial []int)
 
 // OptimizeConcurrent is Optimize with the tabu neighborhood fanned out
 // over the engine's workers: each iteration's trial mappings are
@@ -18,20 +26,45 @@ import (
 // values), so the returned trajectory — mapping, solution, evaluation
 // count — is identical to Optimize on worker 0 (TestParallelMatchesSequential).
 func OptimizeConcurrent(ce *evalengine.Concurrent, initial []int, cf CostFunction, params Params) (*Result, error) {
+	return OptimizeConcurrentContext(context.Background(), ce, initial, cf, params)
+}
+
+// OptimizeConcurrentContext is OptimizeConcurrent with cooperative
+// cancellation: the context is consulted between tabu iterations and
+// between trials inside the worker pool — never inside an evaluation —
+// and cancellation drains the workers before returning the best-so-far
+// partial result with an error wrapping runctl.ErrCanceled. A panic in
+// any worker is recovered into a *runctl.PanicError, the remaining
+// workers drain, and the search fails without the panic escaping.
+func OptimizeConcurrentContext(ctx context.Context, ce *evalengine.Concurrent, initial []int, cf CostFunction, params Params) (*Result, error) {
 	if ce.NumWorkers() <= 1 {
-		return Optimize(ce.Worker(0), initial, cf, params)
+		return optimize(ctx, ce.Worker(0), nil, initial, cf, params)
 	}
-	return optimize(ce.Worker(0), func(trials [][]int) ([]*redundancy.Solution, error) {
-		return evalTrials(ce, trials)
+	return optimize(ctx, ce.Worker(0), func(trials [][]int) ([]*redundancy.Solution, error) {
+		return evalTrials(ctx, ce, trials)
 	}, initial, cf, params)
+}
+
+// evalOne evaluates a single trial on one worker, converting a panic in
+// the evaluator into a *runctl.PanicError instead of letting it kill the
+// goroutine (which would deadlock the WaitGroup and take the process
+// down).
+func evalOne(ev *evalengine.Evaluator, wid int, trial []int) (sol *redundancy.Solution, err error) {
+	defer runctl.Recover(fmt.Sprintf("evalengine worker %d", wid), &err)
+	if testWorkerHook != nil {
+		testWorkerHook(wid, trial)
+	}
+	return ev.RedundancyOpt(trial)
 }
 
 // evalTrials evaluates the trial mappings on the engine's workers. Work
 // is handed out by an atomic counter (work stealing, no per-trial
-// goroutine), results land by index, and a failure makes the remaining
-// workers drain without starting new trials. On failure the
-// lowest-indexed recorded error is returned.
-func evalTrials(ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Solution, error) {
+// goroutine), results land by index, and a failure — evaluation error,
+// recovered panic, or cancellation — makes the remaining workers drain
+// without starting new trials. On failure the lowest-indexed recorded
+// error is returned; a cancellation outranks nothing (it is only
+// reported when no evaluation failed first).
+func evalTrials(ctx context.Context, ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Solution, error) {
 	sols := make([]*redundancy.Solution, len(trials))
 	errs := make([]error, len(trials))
 	w := ce.NumWorkers()
@@ -40,6 +73,7 @@ func evalTrials(ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Soluti
 	}
 	var next atomic.Int64
 	var failed atomic.Bool
+	var cancelErr atomic.Pointer[error] // first worker to observe cancellation wins
 	var wg sync.WaitGroup
 	// Per-worker spans attribute the batch's cache misses to the worker
 	// that computed them; they are concurrent siblings under worker 0's
@@ -51,14 +85,21 @@ func evalTrials(ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Soluti
 		spans[i] = parent.Child("worker", obs.Int("wid", i))
 		ce.Worker(i).SetTraceSpan(spans[i])
 		wg.Add(1)
-		go func(ev *evalengine.Evaluator) {
+		go func(wid int, ev *evalengine.Evaluator) {
 			defer wg.Done()
 			for !failed.Load() {
+				// Checked between trials, so an in-flight evaluation always
+				// completes and the memo caches stay consistent.
+				if cerr := runctl.Err(ctx); cerr != nil {
+					cancelErr.CompareAndSwap(nil, &cerr)
+					failed.Store(true)
+					return
+				}
 				idx := int(next.Add(1)) - 1
 				if idx >= len(trials) {
 					return
 				}
-				sol, err := ev.RedundancyOpt(trials[idx])
+				sol, err := evalOne(ev, wid, trials[idx])
 				if err != nil {
 					errs[idx] = err
 					failed.Store(true)
@@ -66,7 +107,7 @@ func evalTrials(ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Soluti
 				}
 				sols[idx] = sol
 			}
-		}(ce.Worker(i))
+		}(i, ce.Worker(i))
 	}
 	wg.Wait()
 	for i, sp := range spans {
@@ -78,6 +119,9 @@ func evalTrials(ce *evalengine.Concurrent, trials [][]int) ([]*redundancy.Soluti
 		if err != nil {
 			return nil, err
 		}
+	}
+	if p := cancelErr.Load(); p != nil {
+		return nil, *p
 	}
 	return sols, nil
 }

@@ -27,6 +27,7 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -36,6 +37,11 @@ import (
 
 	"repro/internal/obs"
 )
+
+// testMetricsGate, when non-nil, runs at the top of every /metrics
+// request. Tests use it to hold a scrape in flight while Shutdown runs,
+// proving graceful drain.
+var testMetricsGate func()
 
 // Options selects what the endpoints expose. Every field is optional.
 type Options struct {
@@ -56,6 +62,9 @@ func Handler(o Options) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if testMetricsGate != nil {
+			testMetricsGate()
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := WriteProm(w, o.Registry.Snapshot(), o.Progress.Status()); err != nil {
 			// Too late for an error status; the client sees a short body.
@@ -124,3 +133,9 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 
 // Close stops the listener and closes open connections.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes immediately
+// (no new scrapes are admitted) while requests already in flight get
+// until ctx's deadline to complete. It returns ctx's error if the drain
+// ran out of time; callers should fall back to Close then.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

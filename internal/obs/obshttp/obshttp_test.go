@@ -1,12 +1,14 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -156,5 +158,71 @@ func TestServe(t *testing.T) {
 	}
 	if _, err := http.Get(s.URL() + "/healthz"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+// TestShutdownDrainsInFlightScrape: Shutdown stops admitting new
+// connections but lets a /metrics scrape already in flight finish with a
+// complete body — the graceful half of paperbench's two-stage interrupt.
+func TestShutdownDrainsInFlightScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x").Add(1)
+	s, err := Serve("127.0.0.1:0", Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	testMetricsGate = func() {
+		close(inFlight)
+		<-release
+	}
+	defer func() { testMetricsGate = nil }()
+
+	type scrape struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get(s.URL() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- scrape{code: resp.StatusCode, body: string(body), err: err}
+	}()
+
+	<-inFlight // the scrape is now blocked inside the handler
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// The drain must wait for the handler, not race past it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with a scrape still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	sc := <-got
+	if sc.err != nil {
+		t.Fatalf("in-flight scrape failed across Shutdown: %v", sc.err)
+	}
+	if sc.code != http.StatusOK || !strings.Contains(sc.body, "x_total 1") {
+		t.Errorf("drained scrape = %d %q", sc.code, sc.body)
+	}
+	if _, err := http.Get(s.URL() + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
 	}
 }

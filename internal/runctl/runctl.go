@@ -1,0 +1,87 @@
+// Package runctl is the run-control vocabulary shared by every layer of
+// the exploration stack: a typed cancellation error so callers can tell
+// "the operator interrupted this" apart from "the computation is broken",
+// and panic capture so a fault inside one worker goroutine surfaces as an
+// error from the phase that owns it instead of killing the process.
+//
+// The threading convention (documented in DESIGN.md and enforced by the
+// parallel-equality tests) is that contexts are consulted *between* units
+// of work — tabu iterations, candidate architectures, experiment rows —
+// and never inside the bit-identical arithmetic of an evaluation. A
+// canceled run therefore always stops on a row boundary with a
+// deterministic best-so-far partial result in hand.
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrCanceled marks errors caused by cooperative cancellation (a context
+// canceled or past its deadline) rather than by a failed computation.
+// Every layer wraps it, so errors.Is(err, ErrCanceled) holds from a tabu
+// iteration all the way up to the paperbench exit path; the underlying
+// context cause (context.Canceled or context.DeadlineExceeded) stays
+// reachable through errors.Is as well, which is how the experiment
+// harness tells a per-app deadline miss from an operator interrupt.
+var ErrCanceled = errors.New("run canceled")
+
+// Err returns nil while ctx is live and an ErrCanceled-wrapped error once
+// it is done. A nil ctx means "not cancellable" and always returns nil,
+// so legacy entry points cost nothing on the hot path.
+func Err(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if cause := ctx.Err(); cause != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, cause)
+	}
+	return nil
+}
+
+// PanicError is a panic recovered at a worker-goroutine boundary,
+// converted into an error so the owning phase can drain its remaining
+// workers and fail deterministically instead of crashing the process.
+type PanicError struct {
+	// Where names the boundary that contained the panic (e.g. "evalengine
+	// worker 2").
+	Where string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error summarizes the panic; the captured stack is available via the
+// Stack field for logs.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Where, e.Value)
+}
+
+// NewPanicError wraps a recovered panic value; callers that need a custom
+// recover block use it as
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			res.err = runctl.NewPanicError("core probe", r)
+//		}
+//	}()
+func NewPanicError(where string, value any) *PanicError {
+	return &PanicError{Where: where, Value: value, Stack: debug.Stack()}
+}
+
+// Recover converts an in-flight panic into a *PanicError stored in *err.
+// Use it directly as a deferred call in functions with a named error
+// result:
+//
+//	func work() (err error) {
+//		defer runctl.Recover("experiments app job", &err)
+//		...
+//	}
+func Recover(where string, err *error) {
+	if r := recover(); r != nil {
+		*err = NewPanicError(where, r)
+	}
+}

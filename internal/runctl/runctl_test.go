@@ -1,0 +1,71 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestErrNilAndLive(t *testing.T) {
+	if err := Err(nil); err != nil {
+		t.Errorf("Err(nil) = %v, want nil", err)
+	}
+	if err := Err(context.Background()); err != nil {
+		t.Errorf("Err(Background) = %v, want nil", err)
+	}
+}
+
+func TestErrCanceledWrapping(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Err(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled ctx: errors.Is(err, ErrCanceled) = false: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause context.Canceled not reachable: %v", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	derr := Err(dctx)
+	if !errors.Is(derr, ErrCanceled) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Errorf("deadline ctx: %v must wrap both ErrCanceled and DeadlineExceeded", derr)
+	}
+	if errors.Is(derr, context.Canceled) {
+		t.Errorf("deadline err must not read as plain cancel: %v", derr)
+	}
+}
+
+func TestRecover(t *testing.T) {
+	work := func() (err error) {
+		defer Recover("test worker", &err)
+		panic("boom")
+	}
+	err := work()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T %v, want *PanicError", err, err)
+	}
+	if pe.Where != "test worker" || pe.Value != "boom" {
+		t.Errorf("captured %q/%v", pe.Where, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(pe.Error(), "boom") || !strings.Contains(pe.Error(), "test worker") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestRecoverNoPanic(t *testing.T) {
+	work := func() (err error) {
+		defer Recover("test worker", &err)
+		return nil
+	}
+	if err := work(); err != nil {
+		t.Errorf("err = %v without a panic", err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package runstate makes long experiment sweeps crash-safe: a journal of
+// completed rows on disk that an interrupted run — SIGINT, OOM kill,
+// power loss — can be resumed from, skipping every row that already
+// finished and reproducing the remaining ones deterministically, so the
+// resumed output is byte-identical to an uninterrupted run.
+//
+// The format is line-oriented JSON (one record per line), chosen so a
+// torn final record — the crash landing mid-write — costs exactly the row
+// being written and nothing before it:
+//
+//	{"v":1,"kind":"header","fp":"<config fingerprint>","crc":"xxxxxxxx"}
+//	{"v":1,"key":"acceptance|ser=1e-11|hpd=5|arc=20","data":{...},"crc":"xxxxxxxx"}
+//
+// Every record carries the format version and a CRC-32 over its content;
+// readers stop at the first record that fails either check ("round down
+// to the last good record") and Open truncates the tail away before
+// appending. Appends are a single O_APPEND write of a whole line followed
+// by fsync, so a record is either fully durable or invisible. The header
+// binds the journal to a fingerprint of the generating configuration:
+// resuming with a different configuration is an error, never silently
+// wrong rows.
+package runstate
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// Version is the journal format version. Records with any other version
+// are treated like corruption: the reader rounds down to the last record
+// it fully understands.
+const Version = 1
+
+// record is the on-disk framing of one journal line.
+type record struct {
+	V    int             `json:"v"`
+	Kind string          `json:"kind,omitempty"` // "header" on the first line, empty for rows
+	FP   string          `json:"fp,omitempty"`   // header only
+	Key  string          `json:"key,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
+	CRC  string          `json:"crc"`
+}
+
+// crcOf computes the integrity checksum over a record's content. The kind
+// participates so a row cannot be reinterpreted as a header by editing.
+func crcOf(kind, key string, data []byte) string {
+	h := crc32.NewIEEE()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write(data)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// Row is one parsed journal row.
+type Row struct {
+	Key  string
+	Data json.RawMessage
+}
+
+// Scan parses journal bytes. It returns the header fingerprint (ok
+// reports whether an intact header was present), the intact rows in file
+// order, and the byte offset just past the last intact record. Scanning
+// stops at the first torn, corrupted or version-skewed record; everything
+// after it is ignored even if it would parse, because a damaged middle
+// means the append-only invariant was broken.
+func Scan(data []byte) (fp string, ok bool, rows []Row, goodLen int) {
+	off := 0
+	first := true
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn final record: no terminator
+		}
+		line := data[off : off+nl]
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		if rec.V != Version {
+			break
+		}
+		if rec.CRC != crcOf(rec.Kind, rec.Key, rec.Data) {
+			break
+		}
+		if first {
+			if rec.Kind != "header" {
+				break
+			}
+			fp, ok = rec.FP, true
+		} else {
+			if rec.Kind != "" || rec.Key == "" {
+				break
+			}
+			rows = append(rows, Row{Key: rec.Key, Data: rec.Data})
+		}
+		first = false
+		off += nl + 1
+	}
+	return fp, ok, rows, off
+}
+
+// Fingerprint derives a short stable fingerprint from any JSON-encodable
+// configuration value; the journal header stores it so a journal cannot
+// be resumed against a different configuration.
+func Fingerprint(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("runstate: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%x", sum[:8]), nil
+}
+
+// Journal is an open, append-only journal of completed experiment rows.
+// It is safe for concurrent use.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	rows     map[string]json.RawMessage
+	restored int
+	appended int
+}
+
+// Open opens the journal at path, bound to the given configuration
+// fingerprint.
+//
+// With resume=false any existing file is truncated and a fresh header is
+// written. With resume=true an existing file is scanned first: its intact
+// rows become Lookup hits, a torn or corrupted tail is truncated away,
+// and a header carrying a different fingerprint is an error. A missing,
+// empty or header-corrupt file resumes as an empty journal.
+func Open(path, fingerprint string, resume bool) (*Journal, error) {
+	j := &Journal{rows: make(map[string]json.RawMessage)}
+	goodLen := 0
+	if resume {
+		if data, err := os.ReadFile(path); err == nil {
+			fp, ok, rows, n := Scan(data)
+			if ok {
+				if fp != fingerprint {
+					return nil, fmt.Errorf("runstate: journal %s was written by a different configuration (fingerprint %s, want %s)", path, fp, fingerprint)
+				}
+				goodLen = n
+				for _, r := range rows {
+					if _, dup := j.rows[r.Key]; dup {
+						continue // keep the first record of a key
+					}
+					j.rows[r.Key] = r.Data
+				}
+				j.restored = len(j.rows)
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("runstate: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: %w", err)
+	}
+	// Round the file down to its last intact record (0 on a fresh start)
+	// before switching to append-only writes, so a torn tail can never
+	// corrupt the record that follows it.
+	if err := f.Truncate(int64(goodLen)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runstate: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runstate: %w", err)
+	}
+	j.f = f
+	if goodLen == 0 {
+		if err := j.append(record{V: Version, Kind: "header", FP: fingerprint, CRC: crcOf("header", "", nil)}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// append marshals rec and writes it as one line followed by fsync, so the
+// record is either fully durable or (on a crash mid-write) a torn tail
+// the next Open rounds away.
+func (j *Journal) append(rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runstate: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("runstate: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runstate: sync: %w", err)
+	}
+	return nil
+}
+
+// Lookup reports whether key has a journaled row and, when it does,
+// unmarshals its payload into v (which may be nil to test presence only).
+func (j *Journal) Lookup(key string, v any) bool {
+	j.mu.Lock()
+	data, ok := j.rows[key]
+	j.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Record journals a completed row under key. Re-recording a key that is
+// already journaled is a no-op, so a row can never be duplicated; the
+// first recorded payload wins.
+func (j *Journal) Record(key string, v any) error {
+	if key == "" {
+		return fmt.Errorf("runstate: empty row key")
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runstate: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.rows[key]; dup {
+		return nil
+	}
+	if err := j.append(record{V: Version, Key: key, Data: data, CRC: crcOf("", key, data)}); err != nil {
+		return err
+	}
+	j.rows[key] = data
+	j.appended++
+	return nil
+}
+
+// Restored returns how many rows Open recovered from disk.
+func (j *Journal) Restored() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.restored
+}
+
+// Appended returns how many rows this process has journaled.
+func (j *Journal) Appended() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Len returns the total number of distinct journaled rows.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.rows)
+}
+
+// Sync forces the journal file to stable storage. Every Record already
+// syncs; this exists for shutdown paths that want an explicit barrier.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,232 @@
+package runstate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Rates map[string]float64 `json:"rates"`
+}
+
+func openFresh(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path, "fp-1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := openFresh(t, path)
+	want := payload{Rates: map[string]float64{"MIN": 12.5, "OPT": 100.0 / 3.0}}
+	if err := j.Record("row-a", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("row-b", payload{Rates: map[string]float64{"MAX": 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Appended() != 2 || j.Restored() != 0 || j.Len() != 2 {
+		t.Errorf("appended %d restored %d len %d", j.Appended(), j.Restored(), j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, "fp-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Restored() != 2 {
+		t.Fatalf("restored %d rows, want 2", r.Restored())
+	}
+	var got payload
+	if !r.Lookup("row-a", &got) {
+		t.Fatal("row-a not restored")
+	}
+	// Float64 payloads must round-trip exactly: the resumed tables are
+	// formatted from these values and must be byte-identical.
+	if got.Rates["MIN"] != want.Rates["MIN"] || got.Rates["OPT"] != want.Rates["OPT"] {
+		t.Errorf("payload %+v, want %+v", got, want)
+	}
+	if r.Lookup("row-c", nil) {
+		t.Error("phantom row-c")
+	}
+}
+
+func TestJournalFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	openFresh(t, path).Close()
+	if _, err := Open(path, "other-fp", true); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("err = %v, want fingerprint mismatch", err)
+	}
+	// Without -resume the file is truncated and rebound, never an error.
+	j, err := Open(path, "other-fp", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+}
+
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := openFresh(t, path)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := j.Record(k, payload{Rates: map[string]float64{"OPT": 50}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-write: drop its trailing bytes including
+	// the newline.
+	torn := data[:len(data)-7]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, "fp-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Restored() != 2 || !r.Lookup("a", nil) || !r.Lookup("b", nil) || r.Lookup("c", nil) {
+		t.Fatalf("restored %d; want exactly rows a and b", r.Restored())
+	}
+	// The torn tail was truncated away, so re-recording row c appends a
+	// clean record after the last good one.
+	if err := r.Record("c", payload{Rates: map[string]float64{"OPT": 50}}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	r2, err := Open(path, "fp-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Restored() != 3 {
+		t.Fatalf("after repair restored %d rows, want 3", r2.Restored())
+	}
+}
+
+func TestJournalBitFlipRoundsDown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := openFresh(t, path)
+	j.Record("a", payload{Rates: map[string]float64{"OPT": 1}})
+	j.Record("b", payload{Rates: map[string]float64{"OPT": 2}})
+	j.Close()
+
+	data, _ := os.ReadFile(path)
+	// Flip a bit inside row "a"'s payload: its CRC fails, and row "b"
+	// after it must NOT be trusted (the append-only invariant is broken).
+	i := strings.Index(string(data), `"OPT":1`)
+	data[i+6] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+
+	r, err := Open(path, "fp-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Restored() != 0 {
+		t.Fatalf("restored %d rows after mid-file corruption, want 0", r.Restored())
+	}
+}
+
+func TestJournalVersionSkewRoundsDown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := openFresh(t, path)
+	j.Record("a", payload{Rates: map[string]float64{"OPT": 1}})
+	j.Close()
+
+	// Append a future-version record with a valid CRC: the reader must
+	// stop before it rather than guess at its semantics.
+	data, _ := os.ReadFile(path)
+	fut := record{V: Version + 1, Key: "b", Data: json.RawMessage(`{}`), CRC: crcOf("", "b", []byte(`{}`))}
+	b, _ := json.Marshal(fut)
+	data = append(data, b...)
+	data = append(data, '\n')
+	os.WriteFile(path, data, 0o644)
+
+	r, err := Open(path, "fp-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Restored() != 1 || !r.Lookup("a", nil) {
+		t.Fatalf("restored %d, want just row a", r.Restored())
+	}
+}
+
+func TestJournalNoDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := openFresh(t, path)
+	if err := j.Record("a", payload{Rates: map[string]float64{"OPT": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", payload{Rates: map[string]float64{"OPT": 999}}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Appended() != 1 {
+		t.Fatalf("appended %d, want 1 (re-record is a no-op)", j.Appended())
+	}
+	j.Close()
+	data, _ := os.ReadFile(path)
+	_, _, rows, _ := Scan(data)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows on disk, want 1", len(rows))
+	}
+	var got payload
+	json.Unmarshal(rows[0].Data, &got)
+	if got.Rates["OPT"] != 1 {
+		t.Errorf("first record must win, got %v", got.Rates["OPT"])
+	}
+}
+
+func TestJournalEmptyKeyRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j := openFresh(t, path)
+	defer j.Close()
+	if err := j.Record("", payload{}); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	type cfg struct {
+		Apps  int
+		Procs []int
+		Seed  int64
+	}
+	a, err := Fingerprint(cfg{10, []int{20, 40}, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Fingerprint(cfg{10, []int{20, 40}, 1})
+	c, _ := Fingerprint(cfg{10, []int{20, 40}, 2})
+	if a != b {
+		t.Errorf("fingerprint unstable: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Error("different configs share a fingerprint")
+	}
+	if len(a) != 16 {
+		t.Errorf("fingerprint %q, want 16 hex chars", a)
+	}
+}
+
+func TestOpenMissingDirFails(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "no/such/dir/j.jsonl"), "fp", false); err == nil {
+		t.Error("want error for unwritable path")
+	}
+}
