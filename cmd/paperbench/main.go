@@ -20,6 +20,11 @@
 // with the evaluation-engine counters), ablation (slack sharing, tabu
 // mapping, gradient guidance).
 //
+// Orchestration lives in internal/jobs: each figure is submitted as one
+// Job to a single-worker scheduler and its rendered table comes back as
+// the job's artifact, so paperbench and cmd/ftesd (the daemon form of the
+// same runs) produce byte-identical tables from one code path.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // figures, for `go tool pprof`.
 //
@@ -54,9 +59,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/cc"
-	"repro/internal/core"
-	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
 	"repro/internal/runctl"
@@ -190,10 +193,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		// Graceful teardown: stop admitting scrapes, give in-flight ones a
 		// bounded drain, then force-close whatever is left.
 		defer func() {
-			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			if err := srv.Shutdown(sctx); err != nil {
-				srv.Close()
+			if err := srv.Drain(); err != nil {
+				fmt.Fprintln(stderr, "paperbench: introspection drain:", err)
 			}
 		}()
 		fmt.Fprintf(stderr, "paperbench: serving live introspection on %s\n", srv.URL())
@@ -207,18 +208,19 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		defer stop()
 	}
 
-	cfg := experiments.Config{Apps: *apps, Seed: *seed, Workers: *workers, RunWorkers: *runWorkers,
-		AppTimeout: *appTimeout, Metrics: reg, Progress: prog, Log: lg}
+	base := jobs.Spec{Kind: jobs.KindFigure, Apps: *apps, Seed: *seed,
+		Workers: *workers, RunWorkers: *runWorkers, AppTimeout: *appTimeout, Markdown: *md}
 	for _, tok := range splitInts(*procs) {
-		cfg.Procs = append(cfg.Procs, tok)
+		base.Procs = append(base.Procs, tok)
 	}
-	if len(cfg.Procs) == 0 {
+	if len(base.Procs) == 0 {
 		return fmt.Errorf("no process counts in -procs")
 	}
 
 	if *resume && *journalPath == "" {
 		return fmt.Errorf("-resume requires -journal")
 	}
+	var rowJournal *runstate.Journal
 	if *journalPath != "" {
 		// The fingerprint pins the workload identity: resuming under a
 		// different -apps/-procs/-seed is refused rather than silently
@@ -227,7 +229,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			Apps  int   `json:"apps"`
 			Procs []int `json:"procs"`
 			Seed  int64 `json:"seed"`
-		}{cfg.Apps, cfg.Procs, cfg.Seed})
+		}{base.Apps, base.Procs, base.Seed})
 		if err != nil {
 			return err
 		}
@@ -236,7 +238,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 		defer j.Close()
-		cfg.Journal = j
+		rowJournal = j
 		if reg != nil {
 			reg.GaugeFunc("journal_rows_restored", func() float64 { return float64(j.Restored()) })
 			reg.GaugeFunc("journal_rows_appended", func() float64 { return float64(j.Appended()) })
@@ -246,80 +248,24 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 	}
 
-	// figSpan is the current figure's root span; the job closures read cfg
-	// (and runCC reads figSpan) when they run, so the per-figure loop below
-	// rebinds both before each job.
-	var figSpan *obs.Span
-
-	type job struct {
-		name string
-		run  func(context.Context) error
-	}
-	render := func(t *experiments.Table) error {
-		if *md {
-			return t.RenderMarkdown(w)
-		}
-		return t.Render(w)
-	}
-	// renderResult renders whatever table came back — on cancellation the
-	// experiment functions return the completed rows alongside the typed
-	// error, so an interrupted run still prints its partial figure.
-	renderResult := func(t *experiments.Table, err error) error {
-		if t != nil {
-			if rerr := render(t); rerr != nil && err == nil {
-				err = rerr
-			}
-		}
-		return err
-	}
-	table := func(f func(context.Context, experiments.Config) (*experiments.Table, error)) func(context.Context) error {
-		return func(ctx context.Context) error {
-			return renderResult(f(ctx, cfg))
-		}
-	}
-	jobs := map[string]job{
-		"6a": {"Fig. 6a", table(experiments.Fig6a)},
-		"6b": {"Fig. 6b", table(experiments.Fig6b)},
-		"6c": {"Fig. 6c", table(experiments.Fig6c)},
-		"6d": {"Fig. 6d", table(experiments.Fig6d)},
-		"cc": {"Cruise controller", func(ctx context.Context) error {
-			return runCC(ctx, w, render, *runWorkers, figSpan, reg, prog, lg)
-		}},
-		"runtime": {"Strategy runtime", func(ctx context.Context) error {
-			return renderResult(experiments.RuntimeStudy(ctx, cfg, 1e-11, 25))
-		}},
-		"simulation": {"Simulation vs analysis", func(ctx context.Context) error {
-			return renderResult(experiments.SimulationStudy(ctx, cfg, 1e-11, 200))
-		}},
-		"policies": {"Policy comparison", func(ctx context.Context) error {
-			return renderResult(experiments.PolicyComparison(ctx, cfg, 1e-10, 0.5))
-		}},
-		"ablation": {"Ablations", func(ctx context.Context) error {
-			if err := renderResult(experiments.AblationSlack(ctx, cfg, experiments.Point{SER: 1e-10, HPD: 25, ArC: 20})); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-			if err := renderResult(experiments.AblationMapping(ctx, cfg, experiments.Point{SER: 1e-11, HPD: 25, ArC: 20})); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-			if err := renderResult(experiments.AblationGradient(ctx, cfg, 1e-10)); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-			return renderResult(experiments.AblationBus(ctx, cfg, experiments.Point{SER: 1e-11, HPD: 25, ArC: 20}))
-		}},
-	}
-	order := []string{"6a", "6b", "6c", "6d", "cc", "policies", "simulation", "runtime", "ablation"}
-
 	var selected []string
 	if *fig == "all" {
-		selected = order
-	} else if _, ok := jobs[*fig]; ok {
+		selected = jobs.FigureOrder()
+	} else if jobs.KnownFigure(*fig) {
 		selected = []string{*fig}
 	} else {
 		return fmt.Errorf("unknown figure %q (want 6a, 6b, 6c, 6d, cc, policies, simulation, runtime, ablation or all)", *fig)
 	}
+
+	// One single-worker scheduler runs the figures in order; the process
+	// instruments ride along on every job, so -serve, -trace and -metrics
+	// observe all figures in one place exactly as before.
+	sched, err := jobs.New(jobs.Options{Workers: 1, Metrics: reg, Log: lg})
+	if err != nil {
+		return err
+	}
+	defer sched.Close(context.Background())
+	inst := &jobs.Instruments{Tracer: tracer, Metrics: reg, Progress: prog, Log: lg}
 
 	type figTiming struct {
 		Fig    string  `json:"fig"`
@@ -331,32 +277,35 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			fmt.Fprintln(w)
 		}
 		start := time.Now()
-		figSpan = tracer.Start("fig." + name)
-		cfg.Span = figSpan
-		lg.Info("figure start", "fig", name, "span", figSpan.ID())
-		err := jobs[name].run(ctx)
-		figSpan.End()
+		spec := base
+		spec.Fig = name
+		h, err := sched.Submit(spec, jobs.SubmitOptions{Context: ctx, Obs: inst, RowJournal: rowJournal})
+		if err != nil {
+			return err
+		}
+		// Wait on the job itself, not ctx: a canceled run still flushes its
+		// deterministic partial table before the error surfaces.
+		art, err := h.Wait(context.Background())
 		elapsed := time.Since(start)
+		if _, werr := w.Write(art[jobs.ArtifactTable]); werr != nil && err == nil {
+			err = werr
+		}
 		if err != nil {
 			if errors.Is(err, runctl.ErrCanceled) {
 				// The partial table is already rendered; make the interrupted
 				// run resumable and report over stderr, keeping stdout golden.
-				lg.Info("figure interrupted", "fig", name, "err", err.Error(), "span", figSpan.ID())
-				if cfg.Journal != nil {
-					if serr := cfg.Journal.Sync(); serr != nil {
+				if rowJournal != nil {
+					if serr := rowJournal.Sync(); serr != nil {
 						fmt.Fprintln(stderr, "paperbench: journal sync:", serr)
 					}
 					fmt.Fprintf(stderr, "paperbench: interrupted; %d rows journaled — rerun with -resume -journal %s to continue\n",
-						cfg.Journal.Len(), *journalPath)
+						rowJournal.Len(), *journalPath)
 				}
-			} else {
-				lg.Error("figure failed", "fig", name, "err", err.Error(), "span", figSpan.ID())
 			}
-			return fmt.Errorf("%s: %w", jobs[name].name, err)
+			return fmt.Errorf("%s: %w", jobs.FigureTitle(name), err)
 		}
-		lg.Info("figure done", "fig", name, "elapsed", elapsed, "span", figSpan.ID())
 		timings = append(timings, figTiming{Fig: name, WallMs: float64(elapsed) / float64(time.Millisecond)})
-		fmt.Fprintf(w, "(%s regenerated in %v)\n", jobs[name].name, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(w, "(%s regenerated in %v)\n", jobs.FigureTitle(name), elapsed.Round(time.Millisecond))
 	}
 
 	if *trace != "" {
@@ -519,64 +468,6 @@ func renderProgress(p *obs.Progress, w io.Writer) (stop func()) {
 		}
 	}()
 	return func() { close(stopCh); <-done }
-}
-
-// runCC reproduces the cruise-controller case study. span, reg, prog and
-// lg are the optional observability hooks (nil disables each): the three
-// design runs nest under span, fold their counters into reg, tick the
-// "cc.strategies" progress phase and log per-run records.
-func runCC(ctx context.Context, w io.Writer, render func(*experiments.Table) error, runWorkers int, span *obs.Span, reg *obs.Registry, prog *obs.Progress, lg *obs.Logger) error {
-	inst, err := cc.Instance()
-	if err != nil {
-		return err
-	}
-	ph := prog.Phase("cc.strategies")
-	ph.SetTotal(3)
-	defer ph.Done()
-	t := experiments.NewTable("Cruise controller (32 processes on ETM/ABS/TCM, D=300 ms, rho=1-1.2e-5)",
-		[]string{"strategy", "feasible", "cost", "schedule length (ms)"})
-	var maxCost, optCost float64
-	type strategyStats struct {
-		s     core.Strategy
-		stats string
-	}
-	var lines []strategyStats
-	for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
-		res, err := core.RunContext(ctx, inst.App, inst.Platform, core.Options{
-			Goal: inst.Goal, Strategy: s, Workers: runWorkers,
-			ParentSpan: span, Metrics: reg, Progress: prog, Log: lg,
-		})
-		if err != nil {
-			return err
-		}
-		ph.Add(1)
-		if res.Feasible {
-			ph.Best(res.Cost)
-		}
-		row := []string{s.String(), fmt.Sprint(res.Feasible), "-", "-"}
-		if res.Feasible {
-			row[2] = fmt.Sprintf("%g", res.Cost)
-			row[3] = fmt.Sprintf("%.1f", res.Schedule.Length)
-		}
-		t.AddRow(row)
-		lines = append(lines, strategyStats{s, res.EvalStats.String()})
-		switch s {
-		case core.MAX:
-			maxCost = res.Cost
-		case core.OPT:
-			optCost = res.Cost
-		}
-	}
-	if err := render(t); err != nil {
-		return err
-	}
-	for _, l := range lines {
-		fmt.Fprintf(w, "%s evaluator: %s\n", l.s, l.stats)
-	}
-	if maxCost > 0 && optCost > 0 {
-		fmt.Fprintf(w, "OPT improves on MAX by %.0f%% in cost (paper: 66%%)\n", 100*(maxCost-optCost)/maxCost)
-	}
-	return nil
 }
 
 // splitInts parses a comma-separated list of positive ints, ignoring empty

@@ -1,0 +1,43 @@
+package ftes_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/ftes"
+)
+
+// TestJobSchedulerFacade drives a figure job end-to-end through the
+// facade: submit, dedup on resubmission, status, artifact.
+func TestJobSchedulerFacade(t *testing.T) {
+	s, err := ftes.NewJobScheduler(ftes.JobSchedulerOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	spec := ftes.JobSpec{Kind: ftes.JobKindFigure, Fig: "6a", Apps: 2, Procs: []int{20}, Seed: 3}
+	h, err := ftes.SubmitJob(s, spec, ftes.JobSubmitOptions{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ftes.SubmitJob(s, spec, ftes.JobSubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != h2.ID() {
+		t.Errorf("identical specs got different jobs: %s vs %s", h.ID(), h2.ID())
+	}
+	art, err := ftes.WaitJob(context.Background(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(art[ftes.JobArtifactTable], []byte("Fig. 6a")) {
+		t.Errorf("table artifact:\n%s", art[ftes.JobArtifactTable])
+	}
+	st, ok := ftes.JobStatus(s, h.ID())
+	if !ok || st.Submits != 2 {
+		t.Errorf("status = %+v ok=%v, want submits 2", st, ok)
+	}
+}

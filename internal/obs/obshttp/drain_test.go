@@ -1,0 +1,61 @@
+package obshttp
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDrainTimeoutConfigurable: Drain gives in-flight requests the
+// configured deadline, then force-closes what is left — a stuck handler
+// cannot wedge shutdown, and a short deadline is honored instead of the
+// old hard-coded 2 s.
+func TestDrainTimeoutConfigurable(t *testing.T) {
+	stuck := make(chan struct{})
+	defer close(stuck)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		<-stuck
+	})
+	s, err := ServeHandler("127.0.0.1:0", mux, Options{DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		http.Get(s.URL() + "/stuck") //nolint:errcheck — the server kills it
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+
+	t0 := time.Now()
+	err = s.Drain()
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Error("Drain returned nil with a handler still stuck")
+	}
+	if elapsed < 80*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("Drain took %v, want ~the configured 100ms deadline", elapsed)
+	}
+}
+
+// TestDrainDefault: a zero DrainTimeout falls back to DefaultDrainTimeout
+// and an idle server drains immediately.
+func TestDrainDefault(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.drain != DefaultDrainTimeout {
+		t.Errorf("default drain = %v, want %v", s.drain, DefaultDrainTimeout)
+	}
+	if err := s.Drain(); err != nil {
+		t.Errorf("Drain on idle server: %v", err)
+	}
+	if _, err := http.Get(s.URL() + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Drain")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -42,6 +43,10 @@ import (
 // request. Tests use it to hold a scrape in flight while Shutdown runs,
 // proving graceful drain.
 var testMetricsGate func()
+
+// DefaultDrainTimeout bounds Drain's graceful shutdown when Options does
+// not say otherwise.
+const DefaultDrainTimeout = 2 * time.Second
 
 // Options selects what the endpoints expose. Every field is optional.
 type Options struct {
@@ -52,6 +57,11 @@ type Options struct {
 	Progress *obs.Progress
 	// Tracer feeds /trace.
 	Tracer *obs.Tracer
+	// DrainTimeout bounds how long Drain waits for in-flight requests
+	// before force-closing them (0 = DefaultDrainTimeout). Long-running
+	// daemons surface this as a flag (ftesd -drain); paperbench uses the
+	// default.
+	DrainTimeout time.Duration
 }
 
 // Handler returns the introspection mux over the given instruments.
@@ -104,22 +114,35 @@ func Handler(o Options) http.Handler {
 	return mux
 }
 
-// Server is a running introspection listener; create one with Serve and
-// stop it with Close.
+// Server is a running introspection listener; create one with Serve (or
+// ServeHandler for a custom mux) and stop it with Close or Drain.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	drain time.Duration
 }
 
 // Serve starts serving the introspection endpoints on addr (e.g. ":8080"
 // or "127.0.0.1:0" for an ephemeral port) in a background goroutine. The
 // caller owns the returned Server and must Close it.
 func Serve(addr string, o Options) (*Server, error) {
+	return ServeHandler(addr, Handler(o), o)
+}
+
+// ServeHandler is Serve with a caller-provided handler instead of the
+// default introspection mux; o contributes only the drain configuration.
+// ftesd uses it to serve its job API alongside per-job introspection
+// mounts while reusing the listener and graceful-drain machinery.
+func ServeHandler(addr string, h http.Handler, o Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(o)}}
+	drain := o.DrainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}, drain: drain}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -139,3 +162,17 @@ func (s *Server) Close() error { return s.srv.Close() }
 // until ctx's deadline to complete. It returns ctx's error if the drain
 // ran out of time; callers should fall back to Close then.
 func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Drain is Shutdown bounded by the configured drain deadline
+// (Options.DrainTimeout, default DefaultDrainTimeout), falling back to
+// Close when the deadline passes with requests still in flight. It is the
+// one-call graceful teardown the binaries use.
+func (s *Server) Drain() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.drain)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package runstate
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; concurrent-open
+// protection is best-effort and unix-only.
+func lockFile(*os.File) error { return nil }

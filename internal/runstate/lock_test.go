@@ -1,0 +1,68 @@
+package runstate
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenLocked: two concurrent opens of the same journal path must fail
+// fast with ErrLocked — from either mode combination — instead of
+// interleaving appends; the path frees up again on Close.
+func TestOpenLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path, "fp", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, resume := range []bool{false, true} {
+		if _, err := Open(path, "fp", resume); !errors.Is(err, ErrLocked) {
+			t.Errorf("second Open(resume=%v) = %v, want ErrLocked", resume, err)
+		}
+	}
+	if err := j.Record("row", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path, "fp", true)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	defer j2.Close()
+	if j2.Restored() != 1 {
+		t.Errorf("restored %d rows, want 1", j2.Restored())
+	}
+}
+
+// TestRestoredRows: replayed rows come back in append order with
+// duplicate keys collapsed, so a log-style consumer sees each record once.
+func TestRestoredRows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path, "fp", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if err := j.Record(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, err := Open(path, "fp", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rows := j2.RestoredRows()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if rows[i].Key != want {
+			t.Errorf("row %d key %q, want %q", i, rows[i].Key, want)
+		}
+	}
+}

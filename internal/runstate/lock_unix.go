@@ -1,0 +1,26 @@
+//go:build unix
+
+package runstate
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on the journal file. The
+// lock belongs to the open file description, so it also excludes a second
+// Open within the same process, and it is released automatically when the
+// descriptor closes — including when the process is SIGKILLed, which is
+// exactly when the next Open must be able to take over the journal.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return ErrLocked
+	}
+	return fmt.Errorf("flock: %w", err)
+}

@@ -25,11 +25,18 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"sync"
 )
+
+// ErrLocked marks the failure of Open when another open journal already
+// holds the file's advisory lock: two writers interleaving appends in one
+// journal would corrupt the append-only invariant, so the second open
+// fails fast instead. Test with errors.Is(err, ErrLocked).
+var ErrLocked = errors.New("journal locked")
 
 // Version is the journal format version. Records with any other version
 // are treated like corruption: the reader rounds down to the last record
@@ -124,6 +131,7 @@ type Journal struct {
 	mu       sync.Mutex
 	f        *os.File
 	rows     map[string]json.RawMessage
+	order    []Row
 	restored int
 	appended int
 }
@@ -136,32 +144,45 @@ type Journal struct {
 // rows become Lookup hits, a torn or corrupted tail is truncated away,
 // and a header carrying a different fingerprint is an error. A missing,
 // empty or header-corrupt file resumes as an empty journal.
+//
+// The open journal holds an exclusive advisory lock on the file for its
+// whole lifetime: a second Open of the same path — from this process or
+// another — fails fast with ErrLocked instead of interleaving appends.
 func Open(path, fingerprint string, resume bool) (*Journal, error) {
-	j := &Journal{rows: make(map[string]json.RawMessage)}
-	goodLen := 0
-	if resume {
-		if data, err := os.ReadFile(path); err == nil {
-			fp, ok, rows, n := Scan(data)
-			if ok {
-				if fp != fingerprint {
-					return nil, fmt.Errorf("runstate: journal %s was written by a different configuration (fingerprint %s, want %s)", path, fp, fingerprint)
-				}
-				goodLen = n
-				for _, r := range rows {
-					if _, dup := j.rows[r.Key]; dup {
-						continue // keep the first record of a key
-					}
-					j.rows[r.Key] = r.Data
-				}
-				j.restored = len(j.rows)
-			}
-		} else if !os.IsNotExist(err) {
-			return nil, fmt.Errorf("runstate: %w", err)
-		}
-	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runstate: %w", err)
+	}
+	// Take the lock before reading anything, so the scan below cannot race
+	// a concurrent writer's append.
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runstate: journal %s is already open by another journal writer (%w)", path, err)
+	}
+	j := &Journal{rows: make(map[string]json.RawMessage)}
+	goodLen := 0
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runstate: %w", err)
+		}
+		fp, ok, rows, n := Scan(data)
+		if ok {
+			if fp != fingerprint {
+				f.Close()
+				return nil, fmt.Errorf("runstate: journal %s was written by a different configuration (fingerprint %s, want %s)", path, fp, fingerprint)
+			}
+			goodLen = n
+			for _, r := range rows {
+				if _, dup := j.rows[r.Key]; dup {
+					continue // keep the first record of a key
+				}
+				j.rows[r.Key] = r.Data
+				j.order = append(j.order, r)
+			}
+			j.restored = len(j.rows)
+		}
 	}
 	// Round the file down to its last intact record (0 on a fresh start)
 	// before switching to append-only writes, so a torn tail can never
@@ -241,6 +262,18 @@ func (j *Journal) Record(key string, v any) error {
 	j.rows[key] = data
 	j.appended++
 	return nil
+}
+
+// RestoredRows returns the rows Open recovered from disk, in file order
+// with duplicate keys already collapsed to their first record. Callers
+// that replay a journal as a log — the jobs scheduler recovering its
+// submitted/completed state — iterate this instead of probing keys.
+func (j *Journal) RestoredRows() []Row {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Row, len(j.order))
+	copy(out, j.order)
+	return out
 }
 
 // Restored returns how many rows Open recovered from disk.
