@@ -56,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/evalcache"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
@@ -78,6 +79,7 @@ func run(args []string, stderr io.Writer) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "default per-job deadline when a submission does not set timeout_ms (0 = none)")
 	logFormat := fs.String("log", "text", "structured log format on stderr: text, json or off")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	evalCacheDir := fs.String("eval-cache", "", "warm-start directory for the disk-backed evaluation cache shared by all jobs: repeated and resubmitted workloads skip recomputation (results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,7 +89,13 @@ func run(args []string, stderr io.Writer) error {
 		return err
 	}
 	reg := obs.NewRegistry()
-	sched, err := jobs.New(jobs.Options{Workers: *workers, Dir: *state, Metrics: reg, Log: lg})
+	var ec *evalcache.Cache
+	if *evalCacheDir != "" {
+		if ec, err = evalcache.Open(*evalCacheDir); err != nil {
+			return err
+		}
+	}
+	sched, err := jobs.New(jobs.Options{Workers: *workers, Dir: *state, Metrics: reg, Log: lg, EvalCache: ec})
 	if err != nil {
 		return err
 	}

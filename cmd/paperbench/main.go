@@ -59,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/evalcache"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
@@ -130,6 +131,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	appTimeout := fs.Duration("app-timeout", 0, "per-application deadline; a timed-out application counts as rejected instead of aborting the sweep (0 = none)")
 	journalPath := fs.String("journal", "", "journal completed experiment rows to this crash-safe append-only file")
 	resume := fs.Bool("resume", false, "with -journal: restore rows a previous interrupted run already journaled instead of recomputing them")
+	evalCacheDir := fs.String("eval-cache", "", "warm-start directory for the disk-backed evaluation cache: memoized schedules/solutions are loaded from and flushed to it, so repeated runs skip recomputation (results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -260,7 +262,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	// One single-worker scheduler runs the figures in order; the process
 	// instruments ride along on every job, so -serve, -trace and -metrics
 	// observe all figures in one place exactly as before.
-	sched, err := jobs.New(jobs.Options{Workers: 1, Metrics: reg, Log: lg})
+	var ec *evalcache.Cache
+	if *evalCacheDir != "" {
+		if ec, err = evalcache.Open(*evalCacheDir); err != nil {
+			return err
+		}
+	}
+	sched, err := jobs.New(jobs.Options{Workers: 1, Metrics: reg, Log: lg, EvalCache: ec})
 	if err != nil {
 		return err
 	}
@@ -340,14 +348,17 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 	}
 	if *benchJSON != "" {
+		version, dirty := buildVersion()
 		rec := struct {
 			Version   string       `json:"version"`
+			Dirty     bool         `json:"dirty,omitempty"`
 			GoVersion string       `json:"go_version"`
 			Figures   []figTiming  `json:"figures"`
 			TotalMs   float64      `json:"total_ms"`
 			Metrics   obs.Snapshot `json:"metrics"`
 		}{
-			Version:   buildVersion(),
+			Version:   version,
+			Dirty:     dirty,
 			GoVersion: runtime.Version(),
 			Figures:   timings,
 			Metrics:   reg.Snapshot(),
@@ -405,34 +416,37 @@ func newLogger(format, level string) (*obs.Logger, error) {
 }
 
 // buildVersion derives a git-describable version from the build info
-// stamped by the Go toolchain ("unknown" outside a VCS build).
-func buildVersion() string {
+// stamped by the Go toolchain ("unknown" outside a VCS build). dirty
+// reports uncommitted changes in the build tree, so benchmark records
+// can carry it as an explicit field instead of hiding it in a version
+// suffix.
+func buildVersion() (version string, dirty bool) {
 	bi, ok := debug.ReadBuildInfo()
 	if !ok {
-		return "unknown"
+		return "unknown", false
 	}
-	rev, modified := "", false
+	rev := ""
 	for _, s := range bi.Settings {
 		switch s.Key {
 		case "vcs.revision":
 			rev = s.Value
 		case "vcs.modified":
-			modified = s.Value == "true"
+			dirty = s.Value == "true"
 		}
 	}
 	if rev == "" {
 		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
-			return bi.Main.Version
+			return bi.Main.Version, dirty
 		}
-		return "unknown"
+		return "unknown", dirty
 	}
 	if len(rev) > 12 {
 		rev = rev[:12]
 	}
-	if modified {
+	if dirty {
 		rev += "-dirty"
 	}
-	return rev
+	return rev, dirty
 }
 
 // renderProgress starts the throttled stderr status-line renderer and
@@ -445,25 +459,34 @@ func renderProgress(p *obs.Progress, w io.Writer) (stop func()) {
 		tick := time.NewTicker(200 * time.Millisecond)
 		defer tick.Stop()
 		width := 0
+		draw := func() {
+			line := p.Status().StatusLine()
+			if line == "" {
+				return
+			}
+			if len(line) > 160 {
+				line = line[:160]
+			}
+			if len(line) > width {
+				width = len(line)
+			}
+			fmt.Fprintf(w, "\r%-*s", width, line)
+		}
 		for {
 			select {
 			case <-stopCh:
+				if width == 0 {
+					// The run finished before the first tick; render the
+					// final status once so captured stderr (CI logs, piped
+					// output) still records where the time went.
+					draw()
+				}
 				if width > 0 {
 					fmt.Fprintf(w, "\r%*s\r", width, "")
 				}
 				return
 			case <-tick.C:
-				line := p.Status().StatusLine()
-				if line == "" {
-					continue
-				}
-				if len(line) > 160 {
-					line = line[:160]
-				}
-				if len(line) > width {
-					width = len(line)
-				}
-				fmt.Fprintf(w, "\r%-*s", width, line)
+				draw()
 			}
 		}
 	}()

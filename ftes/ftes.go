@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/appmodel"
 	"repro/internal/core"
+	"repro/internal/evalcache"
 	"repro/internal/evalengine"
 	"repro/internal/faultsim"
 	"repro/internal/mapping"
@@ -270,7 +271,19 @@ type (
 	Result = core.Result
 	// Strategy selects OPT, MIN or MAX.
 	Strategy = core.Strategy
+	// EvalCache is the disk-backed, content-addressed store of memoized
+	// evaluation work. Install one via Options.EvalCache (or
+	// JobSchedulerOptions.EvalCache) to warm-start runs across
+	// processes; it can only short-cut to values the engine would
+	// recompute identically, never change a result.
+	EvalCache = evalcache.Cache
 )
+
+// OpenEvalCache opens (creating if needed) the evaluation-cache
+// directory. A cache survives crashes and concurrent writers: entries
+// are verified by digest on load and any damage degrades to a cold
+// start.
+func OpenEvalCache(dir string) (*EvalCache, error) { return evalcache.Open(dir) }
 
 // Strategies.
 const (

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/appmodel"
+	"repro/internal/evalcache"
 	"repro/internal/evalengine"
 	"repro/internal/mapping"
 	"repro/internal/obs"
@@ -107,6 +108,12 @@ type Options struct {
 	// per finished run and a debug line per candidate architecture, with
 	// span IDs so lines correlate with the trace. nil logs nothing.
 	Log *obs.Logger
+	// EvalCache, when non-nil, is the disk-backed evaluation cache the
+	// run's memoized solutions are loaded from and flushed to (warm
+	// starts across processes). Like the in-memory caches it cannot alter
+	// results — entries are deterministic values of their content key —
+	// so reruns with and without it produce identical designs.
+	EvalCache *evalcache.Cache
 }
 
 // runSpan opens the root span of one design run.
@@ -241,6 +248,7 @@ func runSequential(ctx context.Context, app *appmodel.Application, pl *platform.
 	finalize := func() {
 		if ev != nil {
 			res.EvalStats = ev.Stats()
+			ev.FlushPersistent()
 		}
 		span.SetAttr(
 			obs.Bool("feasible", res.Feasible),
@@ -296,6 +304,7 @@ func runSequential(ctx context.Context, app *appmodel.Application, pl *platform.
 			ev = evalengine.New(prob)
 			ev.SetMetrics(opts.Metrics)
 			ev.SetProgress(opts.Progress)
+			ev.SetPersistent(opts.EvalCache)
 		} else {
 			ev.SetProblem(prob)
 		}

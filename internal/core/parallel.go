@@ -239,6 +239,7 @@ func probeArch(ctx context.Context, app *appmodel.Application, pl *platform.Plat
 	ce := evalengine.NewConcurrentWith(problem(app, pl, ar, opts), workers, sfpc)
 	ce.SetMetrics(opts.Metrics)
 	ce.SetProgress(opts.Progress)
+	ce.SetPersistent(opts.EvalCache)
 	ce.Worker(0).SetTraceSpan(span)
 	r.sl, r.err = mapping.OptimizeConcurrentContext(ctx, ce, nil, mapping.ScheduleLength, opts.MappingParams)
 	if r.err == nil && r.sl.Solution.Feasible() {
@@ -248,5 +249,9 @@ func probeArch(ctx context.Context, app *appmodel.Application, pl *platform.Plat
 		span.SetAttr(obs.Bool("feasible", r.sl.Solution.Feasible()))
 	}
 	r.stats = ce.Stats()
+	// Flush the probe's memoized work — its engine is about to be
+	// discarded, and the next process (or a rerun of a canceled sweep)
+	// can warm-start from it.
+	ce.FlushPersistent()
 	return r
 }

@@ -1,0 +1,162 @@
+package evalcache
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/redundancy"
+	"repro/internal/sched"
+)
+
+func testEntry() *Entry {
+	return &Entry{
+		Sols: map[string]*redundancy.Solution{
+			"\x00\x01binary\xffkey": {
+				Levels: []int{1, 2},
+				Ks:     []int{0, 1},
+				Schedule: &sched.Schedule{
+					Start:    []float64{0, 10},
+					Finish:   []float64{10, 20},
+					MsgStart: []float64{math.NaN(), 5},
+					MsgEnd:   []float64{math.NaN(), 7},
+					Length:   20,
+				},
+				Cost:        42.5,
+				Reliable:    true,
+				Schedulable: true,
+			},
+		},
+		Opts: map[string]*redundancy.Solution{
+			"opt-key": {Levels: []int{2}, Ks: []int{1}, Cost: 7},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "00deadbeef00cafe"
+	if _, ok := c.Load(fp); ok {
+		t.Fatal("load of absent fingerprint succeeded")
+	}
+	if err := c.Save(fp, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load(fp)
+	if !ok {
+		t.Fatal("load after save missed")
+	}
+	sol := got.Sols["\x00\x01binary\xffkey"]
+	if sol == nil || sol.Cost != 42.5 || !math.IsNaN(sol.Schedule.MsgStart[0]) || sol.Schedule.MsgEnd[1] != 7 {
+		t.Fatalf("round-trip mangled the solution: %+v", sol)
+	}
+	if got.Opts["opt-key"] == nil || got.Opts["opt-key"].Cost != 7 {
+		t.Fatal("round-trip mangled the opt entry")
+	}
+	st := c.Stats()
+	if st.Loads != 2 || st.LoadHits != 1 || st.Saves != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSaveMerges(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "ab12"
+	if err := c.Save(fp, &Entry{Sols: map[string]*redundancy.Solution{"a": {Cost: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(fp, &Entry{Sols: map[string]*redundancy.Solution{"b": {Cost: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load(fp)
+	if !ok {
+		t.Fatal("load missed after merge")
+	}
+	if len(got.Sols) != 2 || got.Sols["a"].Cost != 1 || got.Sols["b"].Cost != 2 {
+		t.Fatalf("merge lost entries: %v", got.Sols)
+	}
+}
+
+func TestInvalidFingerprintRejected(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range []string{"", "../escape", "UPPER", "with space", "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef0"} {
+		if _, ok := c.Load(fp); ok {
+			t.Fatalf("load accepted invalid fingerprint %q", fp)
+		}
+		if err := c.Save(fp, testEntry()); err == nil {
+			t.Fatalf("save accepted invalid fingerprint %q", fp)
+		}
+	}
+}
+
+// TestChaosCorruptFilesIgnored is the torn-cache chaos test: every way a
+// cache file can be damaged — truncated at any length, bit-flipped
+// anywhere, replaced with garbage — must read as a cold start, never as
+// data and never as a panic. Save over the wreckage must work.
+func TestChaosCorruptFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "feedface01234567"
+	if err := c.Save(fp, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fp+".evc")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	corrupt := func(name string, raw []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Load(fp); ok {
+			t.Fatalf("%s: corrupt file was trusted", name)
+		}
+	}
+
+	// Torn writes: every prefix length, sampled.
+	for _, n := range []int{0, 1, 4, len(magic), len(magic) + 16, len(good) / 2, len(good) - 1} {
+		corrupt("truncated", append([]byte(nil), good[:n]...))
+	}
+	// Bit flips across all regions: magic, digest, payload.
+	for i := 0; i < 64; i++ {
+		raw := append([]byte(nil), good...)
+		pos := rng.Intn(len(raw))
+		raw[pos] ^= 1 << uint(rng.Intn(8))
+		corrupt("bit-flipped", raw)
+	}
+	// Garbage of assorted shapes.
+	big := make([]byte, len(good)+100)
+	rng.Read(big)
+	corrupt("garbage", big)
+	corrupt("empty", nil)
+	// A valid header over a corrupt payload.
+	hdr := append([]byte(nil), good[:len(magic)+32]...)
+	corrupt("header-only", hdr)
+
+	// Save over the wreckage restores service (the corrupt resident file
+	// is discarded, not merged).
+	if err := c.Save(fp, testEntry()); err != nil {
+		t.Fatalf("save over corrupt file: %v", err)
+	}
+	if _, ok := c.Load(fp); !ok {
+		t.Fatal("load after repairing save missed")
+	}
+}

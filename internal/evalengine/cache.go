@@ -1,9 +1,11 @@
 package evalengine
 
 import (
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/evalcache"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/redundancy"
@@ -16,20 +18,17 @@ import (
 // when a single goroutine owns the engine.
 const nShards = 16
 
-// shardOf hashes the key bytes with FNV-1a and folds the hash onto a
-// shard index. Keys are the fixed-width encodings built by appendInts, so
-// the hash is cheap and well distributed.
+// shardSeed keys the shard hash. Which shard a key lands on only affects
+// load balance (and which arbitrary victim an over-cap put displaces), so
+// a per-process random seed is fine.
+var shardSeed = maphash.MakeSeed()
+
+// shardOf hashes the key bytes onto a shard index with the runtime's
+// hardware-accelerated string hash — the same hash the shard map applies
+// afterwards, and measurably cheaper than a byte-at-a-time FNV loop on
+// the hot Evaluate path.
 func shardOf(key string) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return int(h % nShards)
+	return int(maphash.String(shardSeed, key) % nShards)
 }
 
 // solCache is a sharded string → Solution memoization cache. Concurrent
@@ -61,14 +60,24 @@ func (c *solCache) get(key string) (*redundancy.Solution, bool) {
 	return sol, ok
 }
 
-func (c *solCache) put(key string, sol *redundancy.Solution) {
+// put inserts the entry, reporting how many existing entries were evicted
+// to stay under the shard cap. Eviction is counted, one victim at a time
+// (an arbitrary resident entry — the keys are content hashes, so any
+// victim is as good as any other), never a silent whole-shard drop: the
+// incoming entry is always kept and at most one resident is displaced.
+func (c *solCache) put(key string, sol *redundancy.Solution) (evicted int64) {
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()
-	if len(sh.m) >= c.shardCap {
-		sh.m = make(map[string]*redundancy.Solution)
+	if _, exists := sh.m[key]; !exists && len(sh.m) >= c.shardCap {
+		for k := range sh.m {
+			delete(sh.m, k)
+			evicted++
+			break
+		}
 	}
 	sh.m[key] = sol
 	sh.mu.Unlock()
+	return evicted
 }
 
 func (c *solCache) clear() {
@@ -130,23 +139,39 @@ func (c *SFPCache) get(n *platform.Node, key []byte) (*sfp.Node, bool) {
 	return nd, ok
 }
 
-func (c *SFPCache) put(n *platform.Node, key string, nd *sfp.Node) {
+// put inserts the analysis, reporting how many resident entries were
+// evicted to stay under the shard cap — the same counted single-victim
+// eviction as solCache.put, instead of the whole-shard reset that used to
+// silently drop up to 1/16 of the hot analyses.
+func (c *SFPCache) put(n *platform.Node, key string, nd *sfp.Node) (evicted int64) {
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()
-	if sh.count >= maxSFPEntries/nShards {
-		sh.byNode = make(map[*platform.Node]map[string]*sfp.Node)
-		sh.count = 0
+	_, exists := sh.byNode[n][key]
+	if !exists && sh.count >= maxSFPEntries/nShards {
+	victim:
+		for vn, vm := range sh.byNode {
+			for vk := range vm {
+				delete(vm, vk)
+				sh.count--
+				evicted++
+				if len(vm) == 0 {
+					delete(sh.byNode, vn)
+				}
+				break victim
+			}
+		}
 	}
 	m := sh.byNode[n]
 	if m == nil {
 		m = make(map[string]*sfp.Node)
 		sh.byNode[n] = m
 	}
-	if _, exists := m[key]; !exists {
+	if !exists {
 		sh.count++
 	}
 	m[key] = nd
 	sh.mu.Unlock()
+	return evicted
 }
 
 func (c *SFPCache) reset() {
@@ -178,17 +203,37 @@ type store struct {
 	stats     atomicStats
 	perWorker []workerCounters
 
+	// persist is the optional disk-backed cache behind warm starts;
+	// persistFP is the problem fingerprint the current solution caches
+	// belong to, and persistSeeded how many entries the load seeded (so a
+	// flush that learned nothing can be skipped). See persist.go.
+	persist       *evalcache.Cache
+	persistFP     string
+	persistSeeded int
+
 	// progress is the optional live-progress publisher; like metrics it is
 	// store-level state shared by every worker of a Concurrent engine.
 	progress *obs.Progress
 
 	// metrics is the optional live-instrumentation sink; the histograms are
 	// resolved once at setMetrics so the hot path observes through nil-safe
-	// pointers instead of registry lookups.
-	metrics *obs.Registry
-	mReexec *obs.Histogram
-	mSched  *obs.Histogram
-	mOpt    *obs.Histogram
+	// pointers instead of registry lookups. gaugeReg remembers where the
+	// live callback gauges are currently registered so reinstalling
+	// instruments is idempotent and moving to another registry (or to nil)
+	// deregisters the old closures instead of leaking the store through
+	// them.
+	metrics  *obs.Registry
+	gaugeReg *obs.Registry
+	mReexec  *obs.Histogram
+	mSched   *obs.Histogram
+	mOpt     *obs.Histogram
+}
+
+// liveGaugeNames are the callback gauges setMetrics owns on a registry.
+var liveGaugeNames = [...]string{
+	"evalengine.live.evaluations",
+	"evalengine.live.cache_entries",
+	"evalengine.live.opt_entries",
 }
 
 func newStore(sfpc *SFPCache, workers int) *store {
@@ -208,20 +253,34 @@ func newStore(sfpc *SFPCache, workers int) *store {
 // gauges for the engine's live state — evaluations so far and current
 // cache populations — evaluated only when the registry is snapshotted
 // (the /metrics scrape path), so they cost nothing on the hot path.
+//
+// Registration is idempotent: reinstalling the same registry (as
+// jobs.Runner does per job) leaves exactly one gauge set behind, and
+// installing a different registry — or nil — first deregisters the
+// closures from the previous one, so a retired store is not kept alive by
+// a registry that outlives it.
 func (st *store) setMetrics(r *obs.Registry) {
+	if st.gaugeReg != nil && st.gaugeReg != r {
+		for _, name := range liveGaugeNames {
+			st.gaugeReg.UnregisterGaugeFunc(name)
+		}
+	}
 	st.metrics = r
 	st.mReexec = r.Histogram("evalengine.reexec")
 	st.mSched = r.Histogram("evalengine.sched")
 	st.mOpt = r.Histogram("evalengine.redundancy_opt")
-	r.GaugeFunc("evalengine.live.evaluations", func() float64 {
-		return float64(st.stats.evaluations.Load())
-	})
-	r.GaugeFunc("evalengine.live.cache_entries", func() float64 {
-		return float64(st.sols.size())
-	})
-	r.GaugeFunc("evalengine.live.opt_entries", func() float64 {
-		return float64(st.opts.size())
-	})
+	if r != nil && st.gaugeReg != r {
+		r.GaugeFunc("evalengine.live.evaluations", func() float64 {
+			return float64(st.stats.evaluations.Load())
+		})
+		r.GaugeFunc("evalengine.live.cache_entries", func() float64 {
+			return float64(st.sols.size())
+		})
+		r.GaugeFunc("evalengine.live.opt_entries", func() float64 {
+			return float64(st.opts.size())
+		})
+	}
+	st.gaugeReg = r
 }
 
 // resetStats zeroes the engine-wide and per-worker counters.

@@ -88,8 +88,17 @@ func (c *Concurrent) Problem() redundancy.Problem { return c.workers[0].Problem(
 // SetProblem rebinds all workers to p with the same invalidation rules as
 // Evaluator.SetProblem. It must not be called while workers are in use.
 func (c *Concurrent) SetProblem(p redundancy.Problem) {
-	c.workers[0].invalidateFor(p)
+	w0 := c.workers[0]
+	willDrop := w0.willDropSolutions(p)
+	if willDrop {
+		c.st.flushPersistent()
+	}
+	w0.invalidateFor(p)
 	c.bind(p)
+	if willDrop && c.st.persist != nil {
+		fp, _ := problemFingerprint(p)
+		c.st.loadPersistent(fp)
+	}
 }
 
 // Stats returns a snapshot of the engine-wide counters, including

@@ -38,9 +38,11 @@ package evalengine
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/platform"
 	"repro/internal/redundancy"
 	"repro/internal/sched"
 	"repro/internal/sfp"
@@ -84,6 +86,19 @@ type Evaluator struct {
 	keyBuf   []byte
 	buckets  [][]int   // per arch node: pids mapped on it, ascending
 	probsBuf []float64 // scratch for one node's failure probabilities
+	// archBuf is a private clone of the problem's architecture whose
+	// Levels are overwritten per evaluation; anodesBuf is the per-call
+	// node-analysis slice. Neither escapes: schedules reference no
+	// architecture and the analysis is consumed before the next call.
+	archBuf   *platform.Architecture
+	anodesBuf []*sfp.Node
+	// lastMapping/lastLevels memoize the previous analysisFor call: a
+	// hardening search probes many level vectors under one fixed mapping,
+	// so most per-node analyses are the ones already in anodesBuf and can
+	// be reused without touching the shared cache at all. Cleared on any
+	// problem change or analysisFor error.
+	lastMapping []int
+	lastLevels  []int
 }
 
 // New returns an Evaluator for the given problem. The problem's Mapping
@@ -140,9 +155,27 @@ func (e *Evaluator) ResetStats() { e.st.resetStats() }
 // solution caches only. Rebinding to an identical problem keeps all
 // caches warm (core.Run relies on this when re-optimizing the mapping for
 // cost on the same architecture).
+//
+// With a disk cache installed (SetPersistent), a rebind that drops the
+// solution caches first flushes them under the outgoing problem's
+// fingerprint and then seeds them from the incoming one's entry.
 func (e *Evaluator) SetProblem(p redundancy.Problem) {
+	willDrop := e.willDropSolutions(p)
+	if willDrop {
+		e.st.flushPersistent()
+	}
 	e.invalidateFor(p)
 	e.set(p)
+	if willDrop && e.st.persist != nil {
+		fp, _ := problemFingerprint(p)
+		e.st.loadPersistent(fp)
+	}
+}
+
+// willDropSolutions reports whether rebinding to p will drop the solution
+// caches (the condition invalidateFor acts on).
+func (e *Evaluator) willDropSolutions(p redundancy.Problem) bool {
+	return e.prob.App != p.App || e.prob.MaxK != p.MaxK || !e.compatible(p)
 }
 
 // invalidateFor drops whatever caches binding to p invalidates, without
@@ -166,11 +199,13 @@ func (e *Evaluator) set(p redundancy.Problem) {
 	n := 0
 	if p.Arch != nil {
 		n = len(p.Arch.Nodes)
+		e.archBuf = p.Arch.Clone()
 	}
 	if cap(e.buckets) < n {
 		e.buckets = make([][]int, n)
 	}
 	e.buckets = e.buckets[:n]
+	e.lastMapping = e.lastMapping[:0]
 }
 
 // compatible reports whether the cached solutions remain valid under p:
@@ -241,7 +276,9 @@ func (e *Evaluator) Evaluate(mapping, levels []int) (*redundancy.Solution, error
 	if err != nil {
 		return nil, err
 	}
-	st.sols.put(key, sol)
+	if ev := st.sols.put(key, sol); ev > 0 {
+		st.stats.evictions.Add(ev)
+	}
 	return sol, nil
 }
 
@@ -261,10 +298,16 @@ func (e *Evaluator) evaluate(mapping, levels []int) (*redundancy.Solution, error
 	if err != nil {
 		return nil, err
 	}
-	ar := p.Arch.Clone()
+	ar := e.archBuf
 	copy(ar.Levels, levels)
 	start = time.Now()
-	s, err := sched.BuildInto(sched.Input{
+	// BuildIncremental replays the untouched schedule prefix from the
+	// previous build in this workspace — across the tabu search's
+	// single-process remaps and RedundancyOpt's single-node hardening
+	// probes most of the pop sequence is unchanged — and is bit-identical
+	// to a fresh BuildInto (TestBuildIncrementalMatchesBuildInto,
+	// TestEvaluatorMatchesFresh).
+	s, err := sched.BuildIncremental(sched.Input{
 		App:     p.App,
 		Arch:    ar,
 		Mapping: mapping,
@@ -298,19 +341,38 @@ func (e *Evaluator) analysisFor(mapping, levels []int) (*sfp.Analysis, error) {
 	if len(levels) != len(nodes) {
 		return nil, fmt.Errorf("evalengine: levels cover %d of %d nodes", len(levels), len(nodes))
 	}
-	for j := range e.buckets {
-		e.buckets[j] = e.buckets[j][:0]
-	}
-	for pid, j := range mapping {
-		if j < 0 || j >= len(nodes) {
-			return nil, fmt.Errorf("evalengine: process %d mapped to invalid node %d", pid, j)
+	// A repeated mapping (the common case: hardening searches probe many
+	// level vectors under one fixed mapping) keeps its process buckets,
+	// and every node whose level is also unchanged keeps the analysis
+	// already sitting in anodesBuf — no key build, no shared-cache lookup.
+	sameMap := slices.Equal(e.lastMapping, mapping) && len(e.lastLevels) == len(nodes)
+	if !sameMap {
+		for j := range e.buckets {
+			e.buckets[j] = e.buckets[j][:0]
 		}
-		e.buckets[j] = append(e.buckets[j], pid)
+		for pid, j := range mapping {
+			if j < 0 || j >= len(nodes) {
+				e.lastMapping = e.lastMapping[:0]
+				return nil, fmt.Errorf("evalengine: process %d mapped to invalid node %d", pid, j)
+			}
+			e.buckets[j] = append(e.buckets[j], pid)
+		}
 	}
-	anodes := make([]*sfp.Node, len(nodes))
+	if cap(e.anodesBuf) < len(nodes) {
+		e.anodesBuf = make([]*sfp.Node, len(nodes))
+	}
+	anodes := e.anodesBuf[:len(nodes)]
 	for j, n := range nodes {
+		if sameMap && levels[j] == e.lastLevels[j] && anodes[j] != nil {
+			// Still a cache hit observably — the shared cache holds this
+			// entry and would have returned it; the memo only skips the
+			// hash-and-lock round trip.
+			e.st.stats.sfpHits.Add(1)
+			continue
+		}
 		v := n.Version(levels[j])
 		if v == nil {
+			e.lastMapping = e.lastMapping[:0]
 			return nil, fmt.Errorf("evalengine: node %d has no h-version at level %d", j, levels[j])
 		}
 		e.keyBuf = appendInts(appendInts(e.keyBuf[:0], levels[j:j+1]), e.buckets[j])
@@ -326,12 +388,17 @@ func (e *Evaluator) analysisFor(mapping, levels []int) (*sfp.Analysis, error) {
 		e.probsBuf = probs[:0]
 		nd, err := sfp.NewNode(probs, e.maxK())
 		if err != nil {
+			e.lastMapping = e.lastMapping[:0]
 			return nil, fmt.Errorf("evalengine: node %d: %w", j, err)
 		}
 		e.st.stats.sfpBuilds.Add(1)
-		e.st.sfp.put(n, string(e.keyBuf), nd)
+		if ev := e.st.sfp.put(n, string(e.keyBuf), nd); ev > 0 {
+			e.st.stats.evictions.Add(ev)
+		}
 		anodes[j] = nd
 	}
+	e.lastMapping = append(e.lastMapping[:0], mapping...)
+	e.lastLevels = append(e.lastLevels[:0], levels...)
 	return &sfp.Analysis{Nodes: anodes, Period: e.period}, nil
 }
 
@@ -370,6 +437,8 @@ func (e *Evaluator) RedundancyOpt(mapping []int) (*redundancy.Solution, error) {
 		obs.Bool("feasible", sol.Reliable && sol.Schedulable),
 	)
 	sp.End()
-	st.opts.put(key, sol)
+	if ev := st.opts.put(key, sol); ev > 0 {
+		st.stats.evictions.Add(ev)
+	}
 	return sol, nil
 }

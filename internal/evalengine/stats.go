@@ -43,6 +43,10 @@ type Stats struct {
 	// Invalidations counts SetProblem calls that dropped the solution
 	// caches (architecture or model change).
 	Invalidations int64
+	// Evictions counts cache entries displaced by the capacity backstops
+	// (solution, opt and SFP caches together). A nonzero value means the
+	// run outgrew the in-memory caps and some memoized work was redone.
+	Evictions int64
 	// ReExecTime is the wall time spent in the SFP/re-execution layer
 	// (node analyses plus the greedy k-assignment); SchedTime is the wall
 	// time spent building schedules. Both cover cache misses only — hits
@@ -83,6 +87,7 @@ func (s *Stats) Add(o Stats) {
 	s.SFPBuilds += o.SFPBuilds
 	s.SFPHits += o.SFPHits
 	s.Invalidations += o.Invalidations
+	s.Evictions += o.Evictions
 	s.ReExecTime += o.ReExecTime
 	s.SchedTime += o.SchedTime
 	if len(o.PerWorker) > len(s.PerWorker) {
@@ -111,6 +116,7 @@ func (s Stats) Publish(r *obs.Registry) {
 	r.Counter("evalengine.sfp_builds").Add(s.SFPBuilds)
 	r.Counter("evalengine.sfp_hits").Add(s.SFPHits)
 	r.Counter("evalengine.invalidations").Add(s.Invalidations)
+	r.Counter("evalengine.cache_evictions").Add(s.Evictions)
 	r.Counter("evalengine.reexec_ns").Add(int64(s.ReExecTime))
 	r.Counter("evalengine.sched_ns").Add(int64(s.SchedTime))
 	for i, w := range s.PerWorker {
@@ -141,6 +147,7 @@ type atomicStats struct {
 	sfpBuilds      atomic.Int64
 	sfpHits        atomic.Int64
 	invalidations  atomic.Int64
+	evictions      atomic.Int64
 	reExecNanos    atomic.Int64
 	schedNanos     atomic.Int64
 }
@@ -156,6 +163,7 @@ func (a *atomicStats) snapshot() Stats {
 		SFPBuilds:      a.sfpBuilds.Load(),
 		SFPHits:        a.sfpHits.Load(),
 		Invalidations:  a.invalidations.Load(),
+		Evictions:      a.evictions.Load(),
 		ReExecTime:     time.Duration(a.reExecNanos.Load()),
 		SchedTime:      time.Duration(a.schedNanos.Load()),
 	}
@@ -171,6 +179,7 @@ func (a *atomicStats) reset() {
 	a.sfpBuilds.Store(0)
 	a.sfpHits.Store(0)
 	a.invalidations.Store(0)
+	a.evictions.Store(0)
 	a.reExecNanos.Store(0)
 	a.schedNanos.Store(0)
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/evalcache"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/runctl"
@@ -25,13 +26,14 @@ import (
 // the experiment functions return their completed rows alongside the
 // typed error, so an interrupted job carries its deterministic partial
 // table.
-func runFigure(ctx context.Context, j *Job, rowJ *runstate.Journal) (Artifacts, error) {
+func runFigure(ctx context.Context, j *Job, rowJ *runstate.Journal, ec *evalcache.Cache) (Artifacts, error) {
 	spec := j.spec
 	cfg := experiments.Config{
 		Apps: spec.Apps, Procs: spec.Procs, Seed: spec.Seed,
 		Workers: spec.Workers, RunWorkers: spec.RunWorkers,
 		AppTimeout: spec.AppTimeout, Journal: rowJ,
 		Metrics: j.obs.Metrics, Progress: j.obs.Progress, Log: j.obs.Log,
+		EvalCache: ec,
 	}
 	if testFigRowDone != nil {
 		id := j.id
@@ -77,7 +79,7 @@ func runFigure(ctx context.Context, j *Job, rowJ *runstate.Journal) (Artifacts, 
 	case "6d":
 		err = table(experiments.Fig6d)
 	case "cc":
-		err = runCC(ctx, &buf, render, spec.RunWorkers, span, j.obs.Metrics, j.obs.Progress, lg)
+		err = runCC(ctx, &buf, render, spec.RunWorkers, span, j.obs.Metrics, j.obs.Progress, lg, ec)
 	case "runtime":
 		err = renderResult(experiments.RuntimeStudy(ctx, cfg, 1e-11, 25))
 	case "simulation":
@@ -124,7 +126,7 @@ func runAblation(ctx context.Context, w io.Writer, cfg experiments.Config,
 // lg are the optional observability hooks (nil disables each): the three
 // design runs nest under span, fold their counters into reg, tick the
 // "cc.strategies" progress phase and log per-run records.
-func runCC(ctx context.Context, w io.Writer, render func(*experiments.Table) error, runWorkers int, span *obs.Span, reg *obs.Registry, prog *obs.Progress, lg *obs.Logger) error {
+func runCC(ctx context.Context, w io.Writer, render func(*experiments.Table) error, runWorkers int, span *obs.Span, reg *obs.Registry, prog *obs.Progress, lg *obs.Logger, ec *evalcache.Cache) error {
 	inst, err := cc.Instance()
 	if err != nil {
 		return err
@@ -144,6 +146,7 @@ func runCC(ctx context.Context, w io.Writer, render func(*experiments.Table) err
 		res, err := core.RunContext(ctx, inst.App, inst.Platform, core.Options{
 			Goal: inst.Goal, Strategy: s, Workers: runWorkers,
 			ParentSpan: span, Metrics: reg, Progress: prog, Log: lg,
+			EvalCache: ec,
 		})
 		if err != nil {
 			return err
@@ -181,13 +184,14 @@ func runCC(ctx context.Context, w io.Writer, render func(*experiments.Table) err
 // runDesign runs one design optimization over the spec's specio document
 // and produces an ftopt-style text summary (ArtifactResultText) and a
 // machine-readable record (ArtifactResultJSON).
-func runDesign(ctx context.Context, spec Spec, inst Instruments) (Artifacts, error) {
+func runDesign(ctx context.Context, spec Spec, inst Instruments, ec *evalcache.Cache) (Artifacts, error) {
 	doc, err := specio.Read(bytes.NewReader(spec.Design))
 	if err != nil {
 		return nil, err
 	}
 	opts := core.Options{Goal: doc.Goal(), MaxCost: spec.MaxCost, Workers: spec.RunWorkers,
-		Metrics: inst.Metrics, Progress: inst.Progress, Log: inst.Log}
+		Metrics: inst.Metrics, Progress: inst.Progress, Log: inst.Log,
+		EvalCache: ec}
 	switch spec.Strategy {
 	case "", "OPT":
 		opts.Strategy = core.OPT

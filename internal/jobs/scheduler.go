@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/evalcache"
 	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/runstate"
@@ -48,6 +49,12 @@ type Options struct {
 	Metrics *obs.Registry
 	// Log receives scheduler lifecycle records (nil disables logging).
 	Log *obs.Logger
+	// EvalCache, when non-nil, is the disk-backed evaluation cache every
+	// job's design runs share (core.Options.EvalCache): resubmitted and
+	// repeated jobs warm-start from what earlier jobs persisted. It lives
+	// on Options, not Spec — specs are content-addressed and a cache
+	// location must not change a job's identity.
+	EvalCache *evalcache.Cache
 }
 
 // Job is one scheduled exploration. All mutable fields are guarded by
@@ -169,8 +176,8 @@ type Scheduler struct {
 	state *runstate.Journal
 
 	mSubmitted, mDedup, mCompleted, mFailed, mCanceled, mInterrupted *obs.Counter
-	hQueueWait                                                      *obs.Histogram
-	gRunning                                                        *obs.Gauge
+	hQueueWait                                                       *obs.Histogram
+	gRunning                                                         *obs.Gauge
 }
 
 // submitRecord is the durable form of one accepted submission.
@@ -514,9 +521,9 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (art Artifacts, err err
 			defer rj.Close()
 			rowJ = rj
 		}
-		return runFigure(ctx, j, rowJ)
+		return runFigure(ctx, j, rowJ, s.opts.EvalCache)
 	case KindDesign:
-		return runDesign(ctx, j.spec, j.obs)
+		return runDesign(ctx, j.spec, j.obs, s.opts.EvalCache)
 	case kindTest:
 		if testRunHook != nil {
 			return testRunHook(ctx, j)

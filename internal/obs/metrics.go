@@ -96,6 +96,18 @@ func (r *Registry) GaugeFunc(name string, f func() float64) {
 	r.mu.Unlock()
 }
 
+// UnregisterGaugeFunc removes a callback gauge registered with GaugeFunc,
+// releasing whatever state the callback closed over. Unknown names and nil
+// registries are no-ops, so teardown paths can call it unconditionally.
+func (r *Registry) UnregisterGaugeFunc(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.gaugeFns, name)
+	r.mu.Unlock()
+}
+
 // Gauge is a settable instantaneous float64. A nil *Gauge is a no-op.
 type Gauge struct{ bits atomic.Uint64 }
 

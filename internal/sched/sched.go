@@ -28,7 +28,6 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/appmodel"
 	"repro/internal/platform"
@@ -203,7 +202,74 @@ type Workspace struct {
 	wcet, prio, arrival, nodeAvail, maxRec []float64
 	unscheduled                            []int
 	ready                                  []appmodel.ProcID
+	pos                                    []int32 // position of each ready process in ws.ready
+	nodeCount                              []int
 	absDeadline                            []float64
+	vers                                   []*platform.HVersion // per-node selected version, hoisted per build
+
+	// slabF and slabP carve the returned Schedule's arrays out of large
+	// pointer-free chunks instead of per-build allocations: callers that
+	// retain thousands of schedules (the evaluation engine's solution
+	// cache) cost the allocator and the garbage collector one chunk per
+	// ~hundred builds rather than five objects per build. Carved slices
+	// are never reused — the workspace only hands each region out once —
+	// so returned schedules stay independent of the workspace.
+	slabF []float64
+	slabP []appmodel.ProcID
+
+	tr trace
+}
+
+// slabChunk is the slab allocation granularity in elements.
+const slabChunk = 1 << 14
+
+// carveF returns k fresh zeroed float64s off the workspace slab.
+func (ws *Workspace) carveF(k int) []float64 {
+	if len(ws.slabF) < k {
+		c := slabChunk
+		if k > c {
+			c = k
+		}
+		ws.slabF = make([]float64, c)
+	}
+	out := ws.slabF[:k:k]
+	ws.slabF = ws.slabF[k:]
+	return out
+}
+
+// carveP returns k fresh zeroed ProcIDs off the workspace slab.
+func (ws *Workspace) carveP(k int) []appmodel.ProcID {
+	if len(ws.slabP) < k {
+		c := slabChunk
+		if k > c {
+			c = k
+		}
+		ws.slabP = make([]appmodel.ProcID, c)
+	}
+	out := ws.slabP[:k:k]
+	ws.slabP = ws.slabP[k:]
+	return out
+}
+
+// trace records the selection decisions of the last successful build so
+// BuildIncremental can replay the prefix that a small input change cannot
+// have perturbed. Selection (with Input.Release nil) depends only on the
+// priority vector and the precedence structure: the scheduler always pops
+// the ready process with the highest priority (ties by ID), and readiness
+// evolves deterministically from the pop sequence. So as long as every
+// process that has entered the ready set carries an unchanged priority,
+// the recorded pop is provably the process a full build would pick.
+type trace struct {
+	valid bool
+	app   *appmodel.Application
+	// prio is the priority vector of the recorded build.
+	prio []float64
+	// popOrder[s] is the process committed at step s.
+	popOrder []appmodel.ProcID
+	// readyStep[pid] is the first selection step at which pid was in the
+	// ready set (0 for source processes, committing-step+1 otherwise). A
+	// changed process can influence selection no earlier than this step.
+	readyStep []int32
 }
 
 // bind points the workspace at app, recomputing the cached adjacency when
@@ -261,6 +327,28 @@ func Build(in Input) (*Schedule, error) {
 // allocated and independent of the workspace. BuildInto(in, nil) is
 // exactly Build(in).
 func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
+	return buildWith(in, ws, false, nil)
+}
+
+// BuildIncremental is BuildInto with prefix replay: when the workspace
+// holds the trace of a previous build over the same application, the
+// schedule prefix that the input change provably cannot perturb is
+// replayed from the recorded pop order instead of re-scanned, and only the
+// affected suffix (plus every TDMA bus slot, which is re-booked during the
+// replay) runs through live selection. The result is bit-identical to
+// BuildInto for every input — the divergence point is derived from the
+// new priority vector itself, so an unannounced change (a hardening-level
+// probe shifting WCETs, a tabu move flipping edge crossness) is caught by
+// the same diff that catches the announced one. changed optionally names
+// processes the caller knows it touched; they clamp the divergence point
+// as a defensive floor and are never required for correctness. With no
+// usable trace (first build, different application, Release mode) it is
+// exactly BuildInto.
+func BuildIncremental(in Input, ws *Workspace, changed ...appmodel.ProcID) (*Schedule, error) {
+	return buildWith(in, ws, true, changed)
+}
+
+func buildWith(in Input, ws *Workspace, incremental bool, changed []appmodel.ProcID) (*Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -272,9 +360,18 @@ func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
 		return nil, err
 	}
 	n := app.NumProcesses()
+	// Hoist the per-node version lookup (a scan over the node's version
+	// list) out of the per-process loop: m lookups instead of n.
+	if cap(ws.vers) < len(in.Arch.Nodes) {
+		ws.vers = make([]*platform.HVersion, len(in.Arch.Nodes))
+	}
+	vers := ws.vers[:len(in.Arch.Nodes)]
+	for j := range vers {
+		vers[j] = in.Arch.Version(j)
+	}
 	wcet := floats(&ws.wcet, n) // t_ijh of each process on its mapped node
 	for pid := 0; pid < n; pid++ {
-		wcet[pid] = in.Arch.Version(in.Mapping[pid]).WCET[pid]
+		wcet[pid] = vers[in.Mapping[pid]].WCET[pid]
 		if in.ExtraExec != nil {
 			wcet[pid] += in.ExtraExec[pid]
 		}
@@ -305,21 +402,80 @@ func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
 		bus.Reset()
 	}
 
+	// replayUpTo is the first selection step that must run live: every
+	// earlier step pops the recorded process directly. A step can be
+	// replayed when no process in its ready set carries a changed priority
+	// — selection reads nothing else — and the ready sets themselves are
+	// reproduced exactly by replaying the recorded pops.
+	replayUpTo := 0
+	tr := &ws.tr
+	if incremental && in.Release == nil && tr.valid && tr.app == app && len(tr.prio) == n {
+		replayUpTo = n
+		for pid := 0; pid < n; pid++ {
+			if prio[pid] != tr.prio[pid] && int(tr.readyStep[pid]) < replayUpTo {
+				replayUpTo = int(tr.readyStep[pid])
+			}
+		}
+		for _, pid := range changed {
+			if int(pid) < n && int(tr.readyStep[pid]) < replayUpTo {
+				replayUpTo = int(tr.readyStep[pid])
+			}
+		}
+	}
+	// The trace is rebuilt as this build commits; it becomes valid again
+	// only when the build completes (a failed build leaves no trace).
+	tr.valid = false
+	tr.app = app
+	if cap(tr.popOrder) < n {
+		tr.popOrder = make([]appmodel.ProcID, n)
+		tr.readyStep = make([]int32, n)
+	}
+	tr.popOrder = tr.popOrder[:n]
+	tr.readyStep = tr.readyStep[:n]
+
+	// One slab carve backs the three per-process and two per-edge arrays;
+	// NodeOrder gets a single spine sized from the mapping histogram. The
+	// schedule stays independent of the workspace — carved regions are
+	// handed out exactly once — only the allocation count shrinks.
+	m := len(in.Arch.Nodes)
+	ne := len(app.Edges)
+	fbuf := ws.carveF(3*n + 2*ne)
+	msg := fbuf[3*n:]
+	for i := range msg {
+		msg[i] = math.NaN()
+	}
 	s := &Schedule{
-		Start:       make([]float64, n),
-		Finish:      make([]float64, n),
-		WorstFinish: make([]float64, n),
-		MsgStart:    nan(len(app.Edges)),
-		MsgEnd:      nan(len(app.Edges)),
-		NodeOrder:   make([][]appmodel.ProcID, len(in.Arch.Nodes)),
+		Start:       fbuf[0:n:n],
+		Finish:      fbuf[n : 2*n : 2*n],
+		WorstFinish: fbuf[2*n : 3*n : 3*n],
+		MsgStart:    msg[0:ne:ne],
+		MsgEnd:      msg[ne : 2*ne : 2*ne],
+		NodeOrder:   make([][]appmodel.ProcID, m),
+	}
+	if cap(ws.nodeCount) < m {
+		ws.nodeCount = make([]int, m)
+	}
+	counts := ws.nodeCount[:m]
+	for j := range counts {
+		counts[j] = 0
+	}
+	for _, j := range in.Mapping {
+		counts[j]++
+	}
+	spine := ws.carveP(n)
+	for j, off := 0, 0; j < m; j++ {
+		s.NodeOrder[j] = spine[off : off : off+counts[j]]
+		off += counts[j]
 	}
 
 	pred := ws.pred
 	succ := ws.succ
 	if cap(ws.unscheduled) < n {
 		ws.unscheduled = make([]int, n)
+		ws.pos = make([]int32, n)
 	}
 	unscheduled := ws.unscheduled[:n] // remaining predecessor count
+	pos := ws.pos[:n]                 // index of each ready process in ready
 	for pid := 0; pid < n; pid++ {
 		unscheduled[pid] = len(pred[pid])
 	}
@@ -330,14 +486,16 @@ func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
 	head := 0
 	for pid := 0; pid < n; pid++ {
 		if unscheduled[pid] == 0 {
+			pos[pid] = int32(len(ready))
+			tr.readyStep[pid] = 0
 			ready = append(ready, appmodel.ProcID(pid))
 		}
 	}
 
-	nodeAvail := floats(&ws.nodeAvail, len(in.Arch.Nodes))
+	nodeAvail := floats(&ws.nodeAvail, m)
 	// maxRec[j] is the running max of (t + μ) over the processes already
 	// scheduled on node j (the shared slack quantum).
-	maxRec := floats(&ws.maxRec, len(in.Arch.Nodes))
+	maxRec := floats(&ws.maxRec, m)
 	// arrival[pid] is the time all inputs of pid are available at its
 	// node (fault-free in the shared model; worst-case in the
 	// per-process model).
@@ -354,15 +512,23 @@ func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
 
 	scheduled := 0
 	for head < len(ready) {
-		pending := ready[head:]
-		if in.Release == nil {
+		// Select the next process to commit. The comparators below are
+		// strict total orders (the final tie-break is the process ID), so
+		// the winner is unique and a linear scan picks exactly the process
+		// a full sort would put first.
+		best := head
+		if scheduled < replayUpTo {
+			// Replay: the recorded pop is provably the live winner (see
+			// trace); find it in the ready queue by position.
+			best = int(pos[tr.popOrder[scheduled]])
+		} else if in.Release == nil {
 			// Highest priority first; ties by ID for determinism.
-			sort.Slice(pending, func(a, b int) bool {
-				if prio[pending[a]] != prio[pending[b]] {
-					return prio[pending[a]] > prio[pending[b]]
+			for i := head + 1; i < len(ready); i++ {
+				a, b := ready[i], ready[best]
+				if prio[a] > prio[b] || (prio[a] == prio[b] && a < b) {
+					best = i
 				}
-				return pending[a] < pending[b]
-			})
+			}
 		} else {
 			// With release times, committing a high-priority but
 			// not-yet-released job would idle its node (the list
@@ -377,22 +543,34 @@ func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
 				}
 				return e
 			}
-			sort.Slice(pending, func(a, b int) bool {
-				ea, eb := est(pending[a]), est(pending[b])
-				if ea != eb {
-					return ea < eb
+			eb := est(ready[best])
+			for i := head + 1; i < len(ready); i++ {
+				a, b := ready[i], ready[best]
+				ea := est(a)
+				switch {
+				case ea != eb:
+					if ea < eb {
+						best, eb = i, ea
+					}
+				case absDeadline[a] != absDeadline[b]:
+					if absDeadline[a] < absDeadline[b] {
+						best, eb = i, ea
+					}
+				case prio[a] != prio[b]:
+					if prio[a] > prio[b] {
+						best, eb = i, ea
+					}
+				case a < b:
+					best, eb = i, ea
 				}
-				da, db := absDeadline[pending[a]], absDeadline[pending[b]]
-				if da != db {
-					return da < db
-				}
-				if prio[pending[a]] != prio[pending[b]] {
-					return prio[pending[a]] > prio[pending[b]]
-				}
-				return pending[a] < pending[b]
-			})
+			}
 		}
 		pid := ready[head]
+		ready[head], ready[best] = ready[best], ready[head]
+		pos[pid] = int32(best)
+		pid = ready[head]
+		pos[pid] = int32(head)
+		tr.popOrder[scheduled] = pid
 		head++
 		j := in.Mapping[pid]
 
@@ -453,6 +631,8 @@ func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
 			}
 			unscheduled[e.Dst]--
 			if unscheduled[e.Dst] == 0 {
+				pos[e.Dst] = int32(len(ready))
+				tr.readyStep[e.Dst] = int32(scheduled + 1)
 				ready = append(ready, e.Dst)
 			}
 		}
@@ -461,6 +641,14 @@ func BuildInto(in Input, ws *Workspace) (*Schedule, error) {
 	ws.ready = ready[:0]
 	if scheduled != n {
 		return nil, fmt.Errorf("sched: scheduled %d of %d processes (cycle?)", scheduled, n)
+	}
+	if in.Release == nil {
+		if cap(tr.prio) < n {
+			tr.prio = make([]float64, n)
+		}
+		tr.prio = tr.prio[:n]
+		copy(tr.prio, prio)
+		tr.valid = true
 	}
 	return s, nil
 }
@@ -477,15 +665,6 @@ func busSlotEstimate(in Input) float64 {
 	start, end := in.Bus.Schedule(0, 0)
 	in.Bus.Reset()
 	return end - start
-}
-
-// nan returns a slice of n NaNs.
-func nan(n int) []float64 {
-	s := make([]float64, n)
-	for i := range s {
-		s[i] = math.NaN()
-	}
-	return s
 }
 
 // Schedulable reports whether every process completes, in the worst case,
