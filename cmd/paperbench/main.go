@@ -53,6 +53,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
@@ -65,6 +66,7 @@ import (
 	"repro/internal/obs/obshttp"
 	"repro/internal/runctl"
 	"repro/internal/runstate"
+	"repro/internal/shard"
 )
 
 // stderr is where diagnostics (-progress, -log, -metrics, the -serve
@@ -74,6 +76,11 @@ var stderr io.Writer = os.Stderr
 // testServeHook, when non-nil, receives the bound -serve address before
 // the figures run; tests use it to scrape the endpoints mid-run.
 var testServeHook func(addr string)
+
+// testServeDrainHook, when non-nil, runs after the figures finish but
+// before the introspection server drains — the last moment the final
+// counters are still scrapeable.
+var testServeDrainHook func()
 
 func main() {
 	ctx, stop := signalContext()
@@ -130,7 +137,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "overall run deadline; on expiry the run stops at the next row boundary and flushes partial tables (0 = none)")
 	appTimeout := fs.Duration("app-timeout", 0, "per-application deadline; a timed-out application counts as rejected instead of aborting the sweep (0 = none)")
 	journalPath := fs.String("journal", "", "journal completed experiment rows to this crash-safe append-only file")
-	resume := fs.Bool("resume", false, "with -journal: restore rows a previous interrupted run already journaled instead of recomputing them")
+	resume := fs.Bool("resume", false, "with -journal or -shard-dir: restore rows a previous interrupted run already journaled instead of recomputing them")
+	shards := fs.Int("shards", 0, "shard the sweep this many ways; this process computes only shard -shard's rows, journaling them into -shard-dir (shardable figures: 6a, 6b, 6c, 6d, runtime)")
+	shardIdx := fs.Int("shard", -1, "with -shards: this worker's shard index in [0, shards)")
+	shardDir := fs.String("shard-dir", "", "with -shards: the sweep's shard directory (manifest + per-shard journals), shared by all workers")
+	mergeDir := fs.String("merge", "", "merge the per-shard journals in this directory into the final table; computes nothing, and refuses (naming the incomplete shards) unless every shard finished")
 	evalCacheDir := fs.String("eval-cache", "", "warm-start directory for the disk-backed evaluation cache: memoized schedules/solutions are loaded from and flushed to it, so repeated runs skip recomputation (results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -195,6 +206,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		// Graceful teardown: stop admitting scrapes, give in-flight ones a
 		// bounded drain, then force-close whatever is left.
 		defer func() {
+			if testServeDrainHook != nil {
+				testServeDrainHook()
+			}
 			if err := srv.Drain(); err != nil {
 				fmt.Fprintln(stderr, "paperbench: introspection drain:", err)
 			}
@@ -219,8 +233,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return fmt.Errorf("no process counts in -procs")
 	}
 
-	if *resume && *journalPath == "" {
-		return fmt.Errorf("-resume requires -journal")
+	if *resume && *journalPath == "" && *shardDir == "" {
+		return fmt.Errorf("-resume requires -journal or -shard-dir")
 	}
 	var rowJournal *runstate.Journal
 	if *journalPath != "" {
@@ -259,6 +273,66 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return fmt.Errorf("unknown figure %q (want 6a, 6b, 6c, 6d, cc, policies, simulation, runtime, ablation or all)", *fig)
 	}
 
+	sharded := *shards != 0 || *shardIdx != -1 || *shardDir != ""
+	if *mergeDir != "" {
+		if sharded {
+			return fmt.Errorf("-merge replays finished shard journals; it conflicts with the worker flags -shards/-shard/-shard-dir")
+		}
+		if *journalPath != "" || *resume {
+			return fmt.Errorf("-merge conflicts with -journal/-resume (the shard directory is the journal)")
+		}
+	}
+	if sharded || *mergeDir != "" {
+		if len(selected) != 1 {
+			return fmt.Errorf("sharded sweeps take exactly one -fig, not %q", *fig)
+		}
+		if !jobs.ShardableFigure(selected[0]) {
+			return fmt.Errorf("figure %s is not shardable (its rows are not fully journaled; shardable: 6a, 6b, 6c, 6d, runtime)", selected[0])
+		}
+	}
+	if sharded {
+		if *shards < 2 {
+			return fmt.Errorf("-shards %d (want ≥ 2)", *shards)
+		}
+		if *shardIdx < 0 || *shardIdx >= *shards {
+			return fmt.Errorf("-shard %d out of range [0, %d)", *shardIdx, *shards)
+		}
+		if *shardDir == "" {
+			return fmt.Errorf("-shards requires -shard-dir")
+		}
+		if *journalPath != "" {
+			return fmt.Errorf("-journal conflicts with -shard-dir (the shard journal lives in the shard directory)")
+		}
+		// The manifest pins (workload, figure, shard count); a worker whose
+		// flags disagree with an existing manifest is refused before it can
+		// write a single row into the wrong sweep.
+		wfp, err := shard.WorkloadFingerprint(base.Apps, base.Procs, base.Seed)
+		if err != nil {
+			return err
+		}
+		m := shard.Manifest{FP: wfp, Fig: selected[0], Shards: *shards,
+			Apps: base.Apps, Procs: base.Procs, Seed: base.Seed}
+		if err := shard.EnsureManifest(*shardDir, m); err != nil {
+			return err
+		}
+		j, err := runstate.Open(
+			filepath.Join(*shardDir, shard.JournalName(*shardIdx, *shards)),
+			shard.JournalFingerprint(wfp, *shardIdx, *shards), *resume)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		rowJournal = j
+		base.ShardIndex, base.ShardCount = *shardIdx, *shards
+		if reg != nil {
+			reg.GaugeFunc("journal_rows_restored", func() float64 { return float64(j.Restored()) })
+			reg.GaugeFunc("journal_rows_appended", func() float64 { return float64(j.Appended()) })
+		}
+		if *resume && j.Restored() > 0 {
+			fmt.Fprintf(stderr, "paperbench: resuming shard %d/%d: %d journaled rows restored\n", *shardIdx, *shards, j.Restored())
+		}
+	}
+
 	// One single-worker scheduler runs the figures in order; the process
 	// instruments ride along on every job, so -serve, -trace and -metrics
 	// observe all figures in one place exactly as before.
@@ -287,13 +361,22 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		start := time.Now()
 		spec := base
 		spec.Fig = name
-		h, err := sched.Submit(spec, jobs.SubmitOptions{Context: ctx, Obs: inst, RowJournal: rowJournal})
-		if err != nil {
-			return err
+		var art jobs.Artifacts
+		var err error
+		if *mergeDir != "" {
+			// Merge mode: reassemble the table from the finished per-shard
+			// journals — no scheduler, no computation, byte-identical output.
+			art, err = jobs.MergeShards(ctx, spec, *mergeDir, *inst)
+		} else {
+			var h *jobs.Handle
+			h, err = sched.Submit(spec, jobs.SubmitOptions{Context: ctx, Obs: inst, RowJournal: rowJournal})
+			if err != nil {
+				return err
+			}
+			// Wait on the job itself, not ctx: a canceled run still flushes its
+			// deterministic partial table before the error surfaces.
+			art, err = h.Wait(context.Background())
 		}
-		// Wait on the job itself, not ctx: a canceled run still flushes its
-		// deterministic partial table before the error surfaces.
-		art, err := h.Wait(context.Background())
 		elapsed := time.Since(start)
 		if _, werr := w.Write(art[jobs.ArtifactTable]); werr != nil && err == nil {
 			err = werr
@@ -306,8 +389,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 					if serr := rowJournal.Sync(); serr != nil {
 						fmt.Fprintln(stderr, "paperbench: journal sync:", serr)
 					}
-					fmt.Fprintf(stderr, "paperbench: interrupted; %d rows journaled — rerun with -resume -journal %s to continue\n",
-						rowJournal.Len(), *journalPath)
+					if sharded {
+						fmt.Fprintf(stderr, "paperbench: interrupted; %d rows journaled — rerun shard %d/%d with -resume to continue\n",
+							rowJournal.Len(), *shardIdx, *shards)
+					} else {
+						fmt.Fprintf(stderr, "paperbench: interrupted; %d rows journaled — rerun with -resume -journal %s to continue\n",
+							rowJournal.Len(), *journalPath)
+					}
 				}
 			}
 			return fmt.Errorf("%s: %w", jobs.FigureTitle(name), err)

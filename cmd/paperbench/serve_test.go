@@ -72,66 +72,76 @@ func TestServeFlag(t *testing.T) {
 		scrapes     int
 		progressOK  bool
 		monotonic   bool
+		lastCurrent int64
 		promSeen    map[string]bool
 		finalStatus obs.ProgressStatus
 	}
-	// The server shuts down the moment run() returns, so any individual
-	// scrape races with run progress; assert on what was seen across the
-	// whole scrape stream instead of on a "final" body.
 	promTokens := []string{"core_archs_explored_total", "core_runs_total",
 		`progress_current{phase="cc.strategies"}`, "evalengine_evaluations_total"}
-	pr := probe{promSeen: map[string]bool{}}
-	done := make(chan struct{})
+	pr := probe{promSeen: map[string]bool{}, monotonic: true, lastCurrent: -1}
+	scrape := func(addr string) {
+		if code, _, err := get(addr, "/healthz"); err == nil && code == http.StatusOK {
+			pr.healthOK = true
+		}
+		if code, body, err := get(addr, "/metrics"); err == nil && code == http.StatusOK {
+			pr.scrapes++
+			for _, tok := range promTokens {
+				if strings.Contains(body, tok) {
+					pr.promSeen[tok] = true
+				}
+			}
+		}
+		if code, body, err := get(addr, "/progress"); err == nil && code == http.StatusOK {
+			var st obs.ProgressStatus
+			if json.Unmarshal([]byte(body), &st) == nil {
+				pr.progressOK = true
+				var total int64
+				for _, phs := range st.Phases {
+					total += phs.Current
+				}
+				if total < pr.lastCurrent {
+					pr.monotonic = false
+				}
+				pr.lastCurrent = total
+				pr.finalStatus = st
+			}
+		}
+	}
+	// The server shuts down the moment the figures finish, so the polling
+	// loop's scrapes race with run progress: on a slow box it may only get
+	// one or two in before the run ends. The drain hook stops the loop and
+	// takes one guaranteed final sample while the server is still up — that
+	// sample carries the run's final counters and progress phases.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	var wg sync.WaitGroup
 	testServeHook = func(addr string) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var lastCurrent int64 = -1
-			pr.monotonic = true
 			for {
 				select {
-				case <-done:
+				case <-stop:
 					return
 				default:
 				}
-				if code, _, err := get(addr, "/healthz"); err == nil && code == http.StatusOK {
-					pr.healthOK = true
-				}
-				if code, body, err := get(addr, "/metrics"); err == nil && code == http.StatusOK {
-					pr.scrapes++
-					for _, tok := range promTokens {
-						if strings.Contains(body, tok) {
-							pr.promSeen[tok] = true
-						}
-					}
-				}
-				if code, body, err := get(addr, "/progress"); err == nil && code == http.StatusOK {
-					var st obs.ProgressStatus
-					if json.Unmarshal([]byte(body), &st) == nil {
-						pr.progressOK = true
-						var total int64
-						for _, phs := range st.Phases {
-							total += phs.Current
-						}
-						if total < lastCurrent {
-							pr.monotonic = false
-						}
-						lastCurrent = total
-						pr.finalStatus = st
-					}
-				}
+				scrape(addr)
 				time.Sleep(10 * time.Millisecond)
 			}
 		}()
+		testServeDrainHook = func() {
+			stopOnce.Do(func() { close(stop) })
+			wg.Wait()
+			scrape(addr)
+		}
 	}
-	defer func() { testServeHook = nil }()
+	defer func() { testServeHook, testServeDrainHook = nil, nil }()
 
 	var served, plain strings.Builder
 	if err := run(context.Background(), []string{"-fig", "cc", "-serve", "127.0.0.1:0"}, &served); err != nil {
 		t.Fatal(err)
 	}
-	close(done)
+	stopOnce.Do(func() { close(stop) })
 	wg.Wait()
 	if err := run(context.Background(), []string{"-fig", "cc"}, &plain); err != nil {
 		t.Fatal(err)

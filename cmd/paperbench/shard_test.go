@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// workerEnv re-enters run() when the test binary is exec'd as a sharded
+// worker, so the chaos test can SIGKILL a real process mid-row.
+const workerEnv = "PAPERBENCH_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// shardArgs is the common workload of the sharded tests (mirrors the
+// resume tests' tiny runtime sweep).
+func shardArgs(fig string) []string {
+	return []string{"-fig", fig, "-apps", "2", "-procs", "20", "-seed", "3"}
+}
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(context.Background(), args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+// TestShardedSweepByteIdentical: for several shard counts, concurrent
+// in-process workers in a random start order fill a shard directory and
+// -merge reproduces the single-process table byte-for-byte (durations
+// masked — the runtime figure measures wall time).
+func TestShardedSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	want := normalize(runOut(t, shardArgs("6a")...))
+	rng := rand.New(rand.NewSource(17))
+	for _, shards := range []int{2, 3, 7} {
+		dir := filepath.Join(t.TempDir(), "sweep")
+		var wg sync.WaitGroup
+		errs := make([]error, shards)
+		for _, idx := range rng.Perm(shards) {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				args := append(shardArgs("6a"),
+					"-shards", fmt.Sprint(shards), "-shard", fmt.Sprint(idx), "-shard-dir", dir)
+				var sb strings.Builder
+				errs[idx] = run(context.Background(), args, &sb)
+			}(idx)
+		}
+		wg.Wait()
+		for idx, err := range errs {
+			if err != nil {
+				t.Fatalf("shards=%d: worker %d: %v", shards, idx, err)
+			}
+		}
+		got := normalize(runOut(t, append(shardArgs("6a"), "-merge", dir)...))
+		if got != want {
+			t.Errorf("shards=%d: merged output differs:\n%s\nwant:\n%s", shards, got, want)
+		}
+	}
+}
+
+// tearJournalTail truncates a few bytes off the shard journal, simulating
+// a row torn mid-write by the kill; the header line is never touched.
+func tearJournalTail(t *testing.T, path string, rng *rand.Rand) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := bytes.IndexByte(data, '\n')
+	if header < 0 || len(data) <= header+1 {
+		return // header-only journal; nothing to tear
+	}
+	cut := 1 + rng.Intn(30)
+	if keep := len(data) - cut; keep > header {
+		if err := os.Truncate(path, int64(keep)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardChaosKillResume is the crash-safety acceptance test: real
+// worker processes are SIGKILLed at random points, their journal tails
+// torn, and restarted with -resume until they finish; the merge still
+// produces the single-process table byte-for-byte.
+func TestShardChaosKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep")
+	}
+	want := normalize(runOut(t, shardArgs("runtime")...))
+	dir := filepath.Join(t.TempDir(), "sweep")
+	rng := rand.New(rand.NewSource(29))
+
+	const shards = 2
+	for idx := 0; idx < shards; idx++ {
+		journal := filepath.Join(dir, fmt.Sprintf("shard-%04d-of-%04d.jsonl", idx, shards))
+		killed := 0
+		for attempt := 0; ; attempt++ {
+			if attempt > 20 {
+				t.Fatalf("shard %d did not converge in %d attempts", idx, attempt)
+			}
+			args := append(shardArgs("runtime"),
+				"-shards", fmt.Sprint(shards), "-shard", fmt.Sprint(idx), "-shard-dir", dir)
+			if attempt > 0 {
+				args = append(args, "-resume")
+			}
+			cmd := exec.Command(os.Args[0], args...)
+			cmd.Env = append(os.Environ(), workerEnv+"=1")
+			var errBuf bytes.Buffer
+			cmd.Stderr = &errBuf
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			// SIGKILL the first runs at a random point mid-sweep; after two
+			// kills let the worker run to completion so the loop terminates.
+			var timer *time.Timer
+			if killed < 2 {
+				delay := time.Duration(100+rng.Intn(1200)) * time.Millisecond
+				timer = time.AfterFunc(delay, func() { cmd.Process.Signal(syscall.SIGKILL) })
+			}
+			err := cmd.Wait()
+			if timer != nil {
+				timer.Stop()
+			}
+			if err == nil {
+				break
+			}
+			if ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus); ok &&
+				ws.Signaled() && ws.Signal() == syscall.SIGKILL {
+				killed++
+				tearJournalTail(t, journal, rng)
+				continue
+			}
+			t.Fatalf("shard %d attempt %d: %v\n%s", idx, attempt, err, errBuf.String())
+		}
+		if killed == 0 {
+			t.Logf("shard %d finished before any kill landed (fast machine); crash path untested this run", idx)
+		}
+	}
+
+	got := normalize(runOut(t, append(shardArgs("runtime"), "-merge", dir)...))
+	if got != want {
+		t.Errorf("post-chaos merged output differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMergeRefusesIncompleteSweep: with one of two shards never run, the
+// merge fails naming the missing shard instead of emitting a table.
+func TestMergeRefusesIncompleteSweep(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sweep")
+	runOut(t, append(shardArgs("6a"), "-shards", "2", "-shard", "0", "-shard-dir", dir)...)
+	var sb strings.Builder
+	err := run(context.Background(), append(shardArgs("6a"), "-merge", dir), &sb)
+	if err == nil || !strings.Contains(err.Error(), "merge refused") ||
+		!strings.Contains(err.Error(), "shard 1/2") {
+		t.Errorf("merge of incomplete sweep: %v, want refusal naming shard 1/2", err)
+	}
+}
+
+// TestMergeRefusesWrongWorkload: merging with flags that fingerprint a
+// different workload than the manifest is refused.
+func TestMergeRefusesWrongWorkload(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sweep")
+	for idx := 0; idx < 2; idx++ {
+		runOut(t, append(shardArgs("6a"), "-shards", "2", "-shard", fmt.Sprint(idx), "-shard-dir", dir)...)
+	}
+	var sb strings.Builder
+	err := run(context.Background(),
+		[]string{"-fig", "6a", "-apps", "2", "-procs", "20", "-seed", "4", "-merge", dir}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "holds workload") {
+		t.Errorf("merge with wrong seed: %v, want workload mismatch", err)
+	}
+}
+
+// TestWorkerRefusesWrongManifest: a worker whose flags disagree with the
+// sweep's manifest is refused before it can write a row.
+func TestWorkerRefusesWrongManifest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sweep")
+	runOut(t, append(shardArgs("6a"), "-shards", "2", "-shard", "0", "-shard-dir", dir)...)
+	var sb strings.Builder
+	err := run(context.Background(), append(shardArgs("6a"),
+		"-shards", "3", "-shard", "1", "-shard-dir", dir), &sb)
+	if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("worker with mismatched shard count: %v, want manifest refusal", err)
+	}
+}
+
+// TestShardFlagValidation: malformed shard/merge invocations fail fast.
+func TestShardFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{append(shardArgs("cc"), "-shards", "2", "-shard", "0", "-shard-dir", dir), "not shardable"},
+		{append(shardArgs("6a"), "-shards", "1", "-shard", "0", "-shard-dir", dir), "-shards 1"},
+		{append(shardArgs("6a"), "-shards", "2", "-shard", "2", "-shard-dir", dir), "out of range"},
+		{append(shardArgs("6a"), "-shards", "2", "-shard", "0"), "-shard-dir"},
+		{append(shardArgs("6a"), "-shards", "2", "-shard", "0", "-shard-dir", dir, "-journal", dir+"/j.jsonl"), "-journal conflicts"},
+		{append(shardArgs("6a"), "-merge", dir, "-shards", "2", "-shard", "0", "-shard-dir", dir), "conflicts"},
+		{append(shardArgs("6a"), "-merge", dir, "-journal", dir+"/j.jsonl"), "conflicts"},
+		{[]string{"-fig", "all", "-shards", "2", "-shard", "0", "-shard-dir", dir}, "exactly one -fig"},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		err := run(context.Background(), tc.args, &sb)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -33,9 +33,9 @@ func AblationSlack(ctx context.Context, cfg Config, pt Point) (*Table, error) {
 		}
 		t.AddRow([]string{
 			model.String(),
-			fmt.Sprintf("%.0f", r[core.MIN]),
-			fmt.Sprintf("%.0f", r[core.MAX]),
-			fmt.Sprintf("%.0f", r[core.OPT]),
+			cell(r, core.MIN),
+			cell(r, core.MAX),
+			cell(r, core.OPT),
 		})
 	}
 	return t, nil
@@ -66,9 +66,9 @@ func AblationMapping(ctx context.Context, cfg Config, pt Point) (*Table, error) 
 		}
 		t.AddRow([]string{
 			v.name,
-			fmt.Sprintf("%.0f", r[core.MIN]),
-			fmt.Sprintf("%.0f", r[core.MAX]),
-			fmt.Sprintf("%.0f", r[core.OPT]),
+			cell(r, core.MIN),
+			cell(r, core.MAX),
+			cell(r, core.OPT),
 		})
 	}
 	return t, nil

@@ -24,10 +24,21 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/obs"
 	"repro/internal/runctl"
-	"repro/internal/runstate"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/taskgen"
 )
+
+// RowStore is where completed rows are journaled and restored from. A
+// *runstate.Journal is the production store for a live run; a *shard.Rows
+// (the read-only union of per-shard journals) is the store of a merge.
+type RowStore interface {
+	// Lookup reports whether key has a stored row, unmarshalling its
+	// payload into v when v is non-nil.
+	Lookup(key string, v any) bool
+	// Record stores a freshly completed row under key.
+	Record(key string, v any) error
+}
 
 // jobsStarted counts batch jobs that began real work, across all
 // AcceptanceStats calls; the fail-fast regression test reads it to prove
@@ -87,7 +98,24 @@ type Config struct {
 	// deterministic key, and a later run with the same configuration
 	// restores recorded rows instead of recomputing them. Deterministic
 	// generation makes restored and recomputed rows byte-identical.
-	Journal *runstate.Journal
+	// Production runs pass a *runstate.Journal; merges pass the read-only
+	// union of per-shard journals. Assign only non-nil concrete values.
+	Journal RowStore
+	// ShardIndex/ShardCount shard the sweep: with ShardCount > 1 this
+	// process computes only the rows that shard.Index assigns to
+	// ShardIndex — the other rows are skipped (rendered as "-" cells) and
+	// contribute nothing to progress totals, so N workers with disjoint
+	// indices cover the grid exactly once. ShardIndex = -1 with
+	// ShardCount > 1 means "own every row" and is used by the merge step
+	// for shard attribution in its error messages.
+	ShardIndex int
+	ShardCount int
+	// RequireJournaled is the merge step's strict mode: a row that does
+	// not restore from Journal is an error naming the shard that should
+	// have produced it, instead of being recomputed. Merges must never
+	// compute — that is what makes the merged table provably the union of
+	// what the workers ran.
+	RequireJournaled bool
 	// RowDone, when non-nil, is called with the journal key of each row
 	// after it was freshly computed (journal-restored rows do not fire
 	// it). Tests use it to cancel at exact row boundaries.
@@ -114,6 +142,27 @@ func (c Config) rowDone(key string, v any) error {
 // rowRestore consults the journal for a previously completed row.
 func (c Config) rowRestore(key string, v any) bool {
 	return c.Journal != nil && c.Journal.Lookup(key, v)
+}
+
+// owns reports whether this process is responsible for computing the row
+// with the given journal key under the configured sharding (always true
+// unsharded; ShardIndex -1 owns everything).
+func (c Config) owns(key string) bool {
+	if c.ShardCount <= 1 || c.ShardIndex < 0 {
+		return true
+	}
+	return shard.Index(key, c.ShardCount) == c.ShardIndex
+}
+
+// missingRow is the strict-mode (merge) error for a row that did not
+// restore: it names the shard whose journal should hold the row, so the
+// operator knows which worker to rerun before merging again.
+func (c Config) missingRow(key string) error {
+	if c.ShardCount > 1 {
+		return fmt.Errorf("experiments: row %q is not journaled — shard %d of %d is incomplete (rerun that worker with -resume, then merge again)",
+			key, shard.Index(key, c.ShardCount), c.ShardCount)
+	}
+	return fmt.Errorf("experiments: row %q is not journaled", key)
 }
 
 // DefaultConfig returns a configuration sized for minutes-scale runs.
@@ -194,6 +243,15 @@ func AcceptanceStats(ctx context.Context, cfg Config, pt Point) (Rates, map[core
 		cfg.Log.Info("acceptance point restored from journal",
 			"ser", pt.SER, "hpd", pt.HPD, "arc", pt.ArC, "key", key)
 		return rates, map[core.Strategy]evalengine.Stats{}, nil
+	}
+	if cfg.RequireJournaled {
+		return nil, nil, cfg.missingRow(key)
+	}
+	if !cfg.owns(key) {
+		// Another shard computes this point: report nothing (callers render
+		// "-" cells) and contribute nothing to the progress totals, so a
+		// worker's /progress is slice-local.
+		return nil, nil, nil
 	}
 	if cerr := runctl.Err(ctx); cerr != nil {
 		cfg.Metrics.Counter("experiments.canceled").Add(1)
@@ -376,7 +434,7 @@ var (
 )
 
 // cell formats one strategy's acceptance rate, or "-" when the point was
-// not reached before cancellation.
+// not reached before cancellation or belongs to another shard.
 func cell(r Rates, s core.Strategy) string {
 	if r == nil {
 		return "-"
@@ -427,9 +485,9 @@ func Fig6b(ctx context.Context, cfg Config) (*Table, error) {
 			t.AddRow([]string{
 				fmt.Sprintf("%g%%", hpd),
 				fmt.Sprintf("%g", arc),
-				fmt.Sprintf("%.0f", r[core.MAX]),
-				fmt.Sprintf("%.0f", r[core.MIN]),
-				fmt.Sprintf("%.0f", r[core.OPT]),
+				cell(r, core.MAX),
+				cell(r, core.MIN),
+				cell(r, core.OPT),
 			})
 		}
 	}

@@ -29,16 +29,18 @@ func TestAcceptanceJournalRestore(t *testing.T) {
 	pt := Point{SER: 1e-11, HPD: 25, ArC: 20}
 
 	cfg := tinyConfig()
-	cfg.Journal = openJournal(t, path, false)
+	j := openJournal(t, path, false)
+	cfg.Journal = j
 	want, err := Acceptance(context.Background(), cfg, pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Journal.Close()
+	j.Close()
 
 	cfg2 := tinyConfig()
-	cfg2.Journal = openJournal(t, path, true)
-	defer cfg2.Journal.Close()
+	j2 := openJournal(t, path, true)
+	cfg2.Journal = j2
+	defer j2.Close()
 	recomputed := false
 	cfg2.RowDone = func(string) { recomputed = true }
 	before := jobsStarted.Load()
@@ -75,16 +77,18 @@ func TestRuntimeStudyJournalRestore(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "j.jsonl")
 
 	cfg := tinyConfig()
-	cfg.Journal = openJournal(t, path, false)
+	j := openJournal(t, path, false)
+	cfg.Journal = j
 	want, err := RuntimeStudy(context.Background(), cfg, 1e-11, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Journal.Close()
+	j.Close()
 
 	cfg2 := tinyConfig()
-	cfg2.Journal = openJournal(t, path, true)
-	defer cfg2.Journal.Close()
+	j2 := openJournal(t, path, true)
+	cfg2.Journal = j2
+	defer j2.Close()
 	got, err := RuntimeStudy(context.Background(), cfg2, 1e-11, 25)
 	if err != nil {
 		t.Fatal(err)
@@ -92,8 +96,8 @@ func TestRuntimeStudyJournalRestore(t *testing.T) {
 	if got.String() != want.String() {
 		t.Errorf("restored table differs:\n%s\nwant:\n%s", got, want)
 	}
-	if cfg2.Journal.Appended() != 0 {
-		t.Errorf("restored study appended %d rows", cfg2.Journal.Appended())
+	if j2.Appended() != 0 {
+		t.Errorf("restored study appended %d rows", j2.Appended())
 	}
 }
 

@@ -40,14 +40,27 @@ func RuntimeStudy(ctx context.Context, cfg Config, ser, hpd float64) (*Table, er
 	t := NewTable(fmt.Sprintf("Strategy runtime (SER=%.0e, HPD=%g%%, %d apps per size)", ser, hpd, cfg.Apps),
 		[]string{"processes", "strategy", "mean", "max", "mean archs", "mean evals",
 			"cache hit", "opt hit", "sched builds", "sfp built/reused", "reexec", "sched"})
+	strategies := []core.Strategy{core.MIN, core.MAX, core.OPT}
+	// Slice-local progress totals: a sharded worker only handles the rows
+	// its shard owns, so that — not the whole grid — is what /progress and
+	// -progress report against. The coordinator aggregates global
+	// completion across workers.
+	owned := 0
+	for _, n := range cfg.Procs {
+		for _, s := range strategies {
+			if cfg.owns(cfg.rowKey(ser, hpd, n, s)) {
+				owned++
+			}
+		}
+	}
 	rowPh := cfg.Progress.Phase("experiments.rows")
-	rowPh.AddTotal(int64(len(cfg.Procs) * 3))
+	rowPh.AddTotal(int64(owned))
 	canceled := func(cause error) (*Table, error) {
 		cfg.Metrics.Counter("experiments.canceled").Add(1)
 		return t, fmt.Errorf("experiments: runtime study: %w", cause)
 	}
 	for _, n := range cfg.Procs {
-		for _, s := range []core.Strategy{core.MIN, core.MAX, core.OPT} {
+		for _, s := range strategies {
 			key := cfg.rowKey(ser, hpd, n, s)
 			if saved := []string(nil); cfg.rowRestore(key, &saved) {
 				t.AddRow(saved)
@@ -56,6 +69,12 @@ func RuntimeStudy(ctx context.Context, cfg Config, ser, hpd float64) (*Table, er
 				cfg.Log.Info("runtime row restored from journal",
 					"processes", n, "strategy", s.String(), "key", key)
 				continue
+			}
+			if cfg.RequireJournaled {
+				return nil, cfg.missingRow(key)
+			}
+			if !cfg.owns(key) {
+				continue // another shard computes this row; the merge reassembles it
 			}
 			if cerr := runctl.Err(ctx); cerr != nil {
 				return canceled(cerr)

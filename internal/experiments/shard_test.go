@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runstate"
+	"repro/internal/shard"
+)
+
+// shardSweepDir builds a shard directory for tinyConfig's workload and
+// returns it with the manifest installed.
+func shardSweepDir(t *testing.T, fig string, shards int) (string, shard.Manifest) {
+	t.Helper()
+	cfg := tinyConfig()
+	fp, err := shard.WorkloadFingerprint(cfg.Apps, cfg.Procs, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shard.Manifest{FP: fp, Fig: fig, Shards: shards,
+		Apps: cfg.Apps, Procs: cfg.Procs, Seed: cfg.Seed}
+	dir := filepath.Join(t.TempDir(), "sweep")
+	if err := shard.EnsureManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	return dir, m
+}
+
+// runShardWorker runs one slice of a Fig6a sweep into its shard journal,
+// exactly as a sharded paperbench worker would.
+func runShardWorker(t *testing.T, dir string, m shard.Manifest, idx int,
+	fig func(context.Context, Config) (*Table, error)) {
+	t.Helper()
+	j, err := runstate.Open(filepath.Join(dir, shard.JournalName(idx, m.Shards)),
+		shard.JournalFingerprint(m.FP, idx, m.Shards), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	cfg := tinyConfig()
+	cfg.Journal = j
+	cfg.ShardIndex, cfg.ShardCount = idx, m.Shards
+	if _, err := fig(context.Background(), cfg); err != nil {
+		t.Fatalf("shard %d/%d: %v", idx, m.Shards, err)
+	}
+}
+
+// mergeShards renders the figure from the merged journals in strict
+// restore-only mode.
+func mergeShards(t *testing.T, dir string,
+	fig func(context.Context, Config) (*Table, error)) (*Table, error) {
+	t.Helper()
+	rows, err := shard.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tinyConfig()
+	cfg.Journal = rows
+	cfg.ShardIndex, cfg.ShardCount = -1, rows.Manifest().Shards
+	cfg.RequireJournaled = true
+	return fig(context.Background(), cfg)
+}
+
+// TestShardedSweepEquivalence: for several shard counts, workers run in
+// randomized interleavings (concurrent goroutines with shuffled start
+// order) and the merged table is byte-identical to the single-process
+// run. Shard count 1 is the degenerate base case.
+func TestShardedSweepEquivalence(t *testing.T) {
+	clean, err := Fig6a(context.Background(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, shards := range []int{1, 2, 3, 7} {
+		dir, m := shardSweepDir(t, "6a", shards)
+		order := rng.Perm(shards)
+		var wg sync.WaitGroup
+		for _, idx := range order {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				runShardWorker(t, dir, m, idx, Fig6a)
+			}(idx)
+		}
+		wg.Wait()
+		merged, err := mergeShards(t, dir, Fig6a)
+		if err != nil {
+			t.Fatalf("shards=%d: merge: %v", shards, err)
+		}
+		if merged.String() != clean.String() {
+			t.Errorf("shards=%d: merged table differs from single-process run:\n%s\nwant:\n%s",
+				shards, merged, clean)
+		}
+	}
+}
+
+// TestShardedRuntimeStudyEquivalence: the runtime figure — whose duration
+// cells are non-deterministic — merges byte-identical because rows are
+// journaled as rendered cells and a merge never recomputes them.
+func TestShardedRuntimeStudyEquivalence(t *testing.T) {
+	rt := func(ctx context.Context, cfg Config) (*Table, error) {
+		return RuntimeStudy(ctx, cfg, 1e-11, 25)
+	}
+	dir, m := shardSweepDir(t, "runtime", 2)
+	for idx := 0; idx < 2; idx++ {
+		runShardWorker(t, dir, m, idx, rt)
+	}
+	merged, err := mergeShards(t, dir, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged table must be the exact union of what the workers
+	// journaled: re-merging yields identical bytes (byte-determinism of
+	// the merge itself), and every row cell is filled in.
+	again, err := mergeShards(t, dir, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != again.String() {
+		t.Error("merge is not deterministic")
+	}
+	for _, s := range []string{"MIN", "MAX", "OPT"} {
+		if !strings.Contains(merged.String(), s) {
+			t.Errorf("merged runtime table is missing the %s row:\n%s", s, merged)
+		}
+	}
+}
+
+// TestMergeRefusesMissingShard: strict mode fails the merge when a shard
+// never ran, naming it, rather than silently recomputing its rows.
+func TestMergeRefusesMissingShard(t *testing.T) {
+	dir, m := shardSweepDir(t, "6a", 2)
+	runShardWorker(t, dir, m, 0, Fig6a) // shard 1 never runs
+	_, err := mergeShards(t, dir, Fig6a)
+	var ie *shard.IncompleteError
+	if !errors.As(err, &ie) {
+		t.Fatalf("merge with a missing shard: %v, want *shard.IncompleteError", err)
+	}
+	if _, ok := ie.Reasons[1]; !ok {
+		t.Fatalf("error does not name shard 1: %v", ie)
+	}
+}
+
+// TestMergeStrictRefusesPartialJournal: a complete set of journals with a
+// missing row (a worker died before finishing and was never resumed)
+// fails the figure render with the shard attribution, not a recompute.
+func TestMergeStrictRefusesPartialJournal(t *testing.T) {
+	dir, m := shardSweepDir(t, "6a", 2)
+	// Pick a shard that owns at least one of Fig6a's points; that shard
+	// "runs" but journals nothing (a valid header with no rows), as if the
+	// worker died before its first row and was never resumed.
+	empty := -1
+	for idx := 0; idx < 2 && empty < 0; idx++ {
+		c := tinyConfig()
+		c.ShardIndex, c.ShardCount = idx, 2
+		for _, hpd := range HPDs {
+			if c.owns(c.pointKey(Point{SER: 1e-11, HPD: hpd, ArC: 20})) {
+				empty = idx
+				break
+			}
+		}
+	}
+	if empty < 0 {
+		t.Fatal("no shard owns any Fig6a point")
+	}
+	runShardWorker(t, dir, m, 1-empty, Fig6a)
+	j, err := runstate.Open(filepath.Join(dir, shard.JournalName(empty, 2)),
+		shard.JournalFingerprint(m.FP, empty, 2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, err = mergeShards(t, dir, Fig6a)
+	if err == nil {
+		t.Fatal("merge with missing rows succeeded")
+	}
+	if !strings.Contains(err.Error(), "not journaled") || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("error %q does not attribute the incomplete shard", err)
+	}
+}
+
+// TestShardedProgressTotalsSliceLocal: a sharded worker's progress totals
+// count only the rows its shard owns — the satellite fix for totals that
+// previously assumed the whole grid.
+func TestShardedProgressTotalsSliceLocal(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Apps = 1
+	cfg.Procs = []int{6, 9, 12} // several keys so the hash splits them across shards
+	strategies := []core.Strategy{core.MIN, core.MAX, core.OPT}
+	ownedBy := func(idx int) int {
+		c := cfg
+		c.ShardIndex, c.ShardCount = idx, 2
+		owned := 0
+		for _, n := range c.Procs {
+			for _, s := range strategies {
+				if c.owns(c.rowKey(1e-11, 25, n, s)) {
+					owned++
+				}
+			}
+		}
+		return owned
+	}
+	grid := len(cfg.Procs) * len(strategies)
+	owned0, owned1 := ownedBy(0), ownedBy(1)
+	if owned0+owned1 != grid {
+		t.Fatalf("shards 0+1 own %d+%d rows, want exact cover of %d", owned0, owned1, grid)
+	}
+	if owned0 == 0 || owned0 == grid {
+		t.Fatalf("degenerate split %d/%d leaves the slice-local property untested", owned0, owned1)
+	}
+
+	prog := obs.NewProgress()
+	cfg.Progress = prog
+	cfg.ShardIndex, cfg.ShardCount = 0, 2
+	if _, err := RuntimeStudy(context.Background(), cfg, 1e-11, 25); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range prog.Status().Phases {
+		if ph.Name != "experiments.rows" {
+			continue
+		}
+		if ph.Total != int64(owned0) {
+			t.Errorf("experiments.rows total = %d, want slice-local %d (grid %d)", ph.Total, owned0, grid)
+		}
+		if ph.Current != int64(owned0) {
+			t.Errorf("experiments.rows current = %d, want %d", ph.Current, owned0)
+		}
+		return
+	}
+	t.Fatal("no experiments.rows phase")
+}

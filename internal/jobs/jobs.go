@@ -79,6 +79,14 @@ type Spec struct {
 	AppTimeout time.Duration `json:"app_timeout,omitempty"`
 	// Markdown renders tables as Markdown instead of ASCII.
 	Markdown bool `json:"markdown,omitempty"`
+	// ShardIndex/ShardCount make a figure job one slice of a sharded
+	// sweep: with ShardCount > 1 the job computes only the rows
+	// shard.Index assigns to ShardIndex, journaling them into the sweep's
+	// shard directory for a later merge. Both participate in the
+	// fingerprint, so every slice is its own content-addressed job.
+	// Only shardable figures (ShardableFigure) accept them.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 
 	// Design jobs (KindDesign).
 
@@ -118,6 +126,18 @@ func FigureOrder() []string {
 // KnownFigure reports whether fig names a figure job.
 func KnownFigure(fig string) bool { _, ok := figureTitles[fig]; return ok }
 
+// shardableFigures are the figures whose every row is journaled under a
+// deterministic key, which is what sharding requires: a merge reassembles
+// the table purely from journaled rows. The other figures (cc, policies,
+// simulation, ablation) compute rows outside the journal and would
+// silently recompute during a merge, so they are refused.
+var shardableFigures = map[string]bool{
+	"6a": true, "6b": true, "6c": true, "6d": true, "runtime": true,
+}
+
+// ShardableFigure reports whether fig can run as a sharded sweep.
+func ShardableFigure(fig string) bool { return shardableFigures[fig] }
+
 // FigureTitle returns the display title of a figure ("" when unknown).
 func FigureTitle(fig string) string { return figureTitles[fig] }
 
@@ -134,6 +154,17 @@ func (s Spec) Validate() error {
 			}
 			if len(s.Procs) == 0 {
 				return fmt.Errorf("jobs: figure %s needs at least one process count", s.Fig)
+			}
+		}
+		if s.ShardCount != 0 || s.ShardIndex != 0 {
+			if s.ShardCount < 2 {
+				return fmt.Errorf("jobs: shard count %d (want ≥ 2, or 0 for an unsharded job)", s.ShardCount)
+			}
+			if s.ShardIndex < 0 || s.ShardIndex >= s.ShardCount {
+				return fmt.Errorf("jobs: shard index %d out of range [0, %d)", s.ShardIndex, s.ShardCount)
+			}
+			if !ShardableFigure(s.Fig) {
+				return fmt.Errorf("jobs: figure %s is not shardable (its rows are not fully journaled; shardable: 6a, 6b, 6c, 6d, runtime)", s.Fig)
 			}
 		}
 		return nil

@@ -16,6 +16,7 @@ import (
 	"repro/internal/runctl"
 	"repro/internal/runstate"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/specio"
 )
 
@@ -31,19 +32,83 @@ func runFigure(ctx context.Context, j *Job, rowJ *runstate.Journal, ec *evalcach
 	cfg := experiments.Config{
 		Apps: spec.Apps, Procs: spec.Procs, Seed: spec.Seed,
 		Workers: spec.Workers, RunWorkers: spec.RunWorkers,
-		AppTimeout: spec.AppTimeout, Journal: rowJ,
+		AppTimeout: spec.AppTimeout,
+		ShardIndex: spec.ShardIndex, ShardCount: spec.ShardCount,
 		Metrics: j.obs.Metrics, Progress: j.obs.Progress, Log: j.obs.Log,
 		EvalCache: ec,
+	}
+	if rowJ != nil {
+		// Guarded: a nil *runstate.Journal inside the RowStore interface
+		// would read as non-nil and panic on first use.
+		cfg.Journal = rowJ
 	}
 	if testFigRowDone != nil {
 		id := j.id
 		cfg.RowDone = func(key string) { testFigRowDone(id, key) }
 	}
+	return renderFigure(ctx, spec, cfg, j.obs, ec)
+}
 
-	span := j.obs.Tracer.Start("fig." + spec.Fig)
+// MergeShards reassembles a sharded sweep from its shard directory into
+// the figure's ArtifactTable — byte-identical to a single-process run of
+// the same spec. The merge never computes: every row is restored from the
+// per-shard journals (strict mode), and a missing or damaged shard is a
+// loud *shard.IncompleteError naming the workers to rerun. The manifest
+// must describe exactly the workload and figure the spec asks for, so
+// journals from a different sweep can never be dressed up as this one.
+func MergeShards(ctx context.Context, spec Spec, dir string, inst Instruments) (Artifacts, error) {
+	if spec.Kind == "" {
+		spec.Kind = KindFigure
+	}
+	base := spec
+	base.ShardIndex, base.ShardCount = 0, 0
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if base.Kind != KindFigure {
+		return nil, fmt.Errorf("jobs: merge of a %s job (only figure sweeps shard)", base.Kind)
+	}
+	if !ShardableFigure(base.Fig) {
+		return nil, fmt.Errorf("jobs: figure %s is not shardable, nothing to merge", base.Fig)
+	}
+	rows, err := shard.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := rows.Manifest()
+	wantFP, err := shard.WorkloadFingerprint(base.Apps, base.Procs, base.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if m.FP != wantFP {
+		return nil, fmt.Errorf("jobs: shard directory %s holds workload %s (fig %s, apps=%d procs=%v seed=%d), merge asked for workload %s (fig %s, apps=%d procs=%v seed=%d)",
+			dir, m.FP, m.Fig, m.Apps, m.Procs, m.Seed, wantFP, base.Fig, base.Apps, base.Procs, base.Seed)
+	}
+	if m.Fig != base.Fig {
+		return nil, fmt.Errorf("jobs: shard directory %s holds figure %s, merge asked for %s", dir, m.Fig, base.Fig)
+	}
+	cfg := experiments.Config{
+		Apps: base.Apps, Procs: base.Procs, Seed: base.Seed,
+		Workers: base.Workers, RunWorkers: base.RunWorkers,
+		AppTimeout: base.AppTimeout,
+		Journal:    rows,
+		// ShardIndex -1 owns every row; RequireJournaled turns any row that
+		// is not in the merged store into an error attributing the
+		// incomplete shard instead of a recomputation.
+		ShardIndex: -1, ShardCount: m.Shards,
+		RequireJournaled: true,
+		Metrics:          inst.Metrics, Progress: inst.Progress, Log: inst.Log,
+	}
+	return renderFigure(ctx, base, cfg, inst, nil)
+}
+
+// renderFigure dispatches one figure run (live, sharded or merge — the
+// difference lives entirely in cfg) and renders the ArtifactTable bytes.
+func renderFigure(ctx context.Context, spec Spec, cfg experiments.Config, inst Instruments, ec *evalcache.Cache) (Artifacts, error) {
+	span := inst.Tracer.Start("fig." + spec.Fig)
 	defer span.End()
 	cfg.Span = span
-	lg := j.obs.Log
+	lg := inst.Log
 	lg.Info("figure start", "fig", spec.Fig, "span", span.ID())
 	start := time.Now()
 
@@ -79,7 +144,7 @@ func runFigure(ctx context.Context, j *Job, rowJ *runstate.Journal, ec *evalcach
 	case "6d":
 		err = table(experiments.Fig6d)
 	case "cc":
-		err = runCC(ctx, &buf, render, spec.RunWorkers, span, j.obs.Metrics, j.obs.Progress, lg, ec)
+		err = runCC(ctx, &buf, render, spec.RunWorkers, span, inst.Metrics, inst.Progress, lg, ec)
 	case "runtime":
 		err = renderResult(experiments.RuntimeStudy(ctx, cfg, 1e-11, 25))
 	case "simulation":

@@ -511,7 +511,22 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (art Artifacts, err err
 	switch j.spec.Kind {
 	case KindFigure:
 		rowJ := j.rowJournal
-		if rowJ == nil && s.opts.Dir != "" {
+		switch {
+		case rowJ != nil:
+		case j.spec.ShardCount > 1:
+			// A sharded slice journals into the sweep's shard directory so
+			// the merge can find it; without a state dir there is nowhere
+			// durable to put it, which defeats the whole point of sharding.
+			if s.opts.Dir == "" {
+				return nil, fmt.Errorf("jobs: sharded figure job %s needs a durable scheduler (Options.Dir) or a caller-provided row journal", j.id)
+			}
+			rj, jerr := s.openShardJournal(j.spec)
+			if jerr != nil {
+				return nil, jerr
+			}
+			defer rj.Close()
+			rowJ = rj
+		case s.opts.Dir != "":
 			// The row journal is keyed by the job fingerprint, so it can
 			// only ever resume the spec that wrote it.
 			rj, jerr := runstate.Open(filepath.Join(s.opts.Dir, "rows-"+j.id+".jsonl"), j.id, true)

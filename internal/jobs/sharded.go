@@ -1,0 +1,203 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/obs"
+	"repro/internal/runctl"
+	"repro/internal/runstate"
+	"repro/internal/shard"
+)
+
+// sweepBaseID is the identity every slice of one sharded sweep shares:
+// the fingerprint of the spec with its shard coordinates zeroed out.
+func sweepBaseID(spec Spec) (string, error) {
+	spec.ShardIndex, spec.ShardCount = 0, 0
+	return spec.Fingerprint()
+}
+
+// sweepDir returns the shard directory of spec's sweep under the
+// scheduler's state dir.
+func (s *Scheduler) sweepDir(spec Spec) (string, error) {
+	base, err := sweepBaseID(spec)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(s.opts.Dir, "sweep-"+base), nil
+}
+
+// openShardJournal installs (or verifies) the sweep's manifest and opens
+// the slice's per-shard journal, resuming any rows an earlier attempt of
+// the same slice already completed. The journal fingerprint binds the
+// file to its exact (workload, shard index, shard count) coordinates.
+func (s *Scheduler) openShardJournal(spec Spec) (*runstate.Journal, error) {
+	dir, err := s.sweepDir(spec)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := shard.WorkloadFingerprint(spec.Apps, spec.Procs, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m := shard.Manifest{FP: fp, Fig: spec.Fig, Shards: spec.ShardCount,
+		Apps: spec.Apps, Procs: spec.Procs, Seed: spec.Seed}
+	if err := shard.EnsureManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return runstate.Open(
+		filepath.Join(dir, shard.JournalName(spec.ShardIndex, spec.ShardCount)),
+		shard.JournalFingerprint(fp, spec.ShardIndex, spec.ShardCount), true)
+}
+
+// ShardedHandle is the coordinator's reference to a sharded sweep: the
+// fan-out of per-shard jobs plus the merge that runs once every shard
+// completes. Artifacts and error are immutable once Done closes.
+type ShardedHandle struct {
+	s      *Scheduler
+	baseID string
+	dir    string
+	spec   Spec // base spec, shard coordinates zeroed
+	shards []*Handle
+	inst   Instruments
+
+	artifacts Artifacts
+	err       error
+	done      chan struct{}
+}
+
+// ID returns the sweep's identity (the base spec's fingerprint, shared by
+// every slice).
+func (h *ShardedHandle) ID() string { return h.baseID }
+
+// Dir returns the sweep's shard directory (manifest + per-shard journals).
+func (h *ShardedHandle) Dir() string { return h.dir }
+
+// Shards returns the per-shard job handles in shard order.
+func (h *ShardedHandle) Shards() []*Handle {
+	out := make([]*Handle, len(h.shards))
+	copy(out, h.shards)
+	return out
+}
+
+// Instruments returns the coordinator's observability hooks; the
+// "shard.workers" progress phase tracks global sweep completion there.
+func (h *ShardedHandle) Instruments() Instruments { return h.inst }
+
+// Done returns a channel closed when the sweep (workers + merge) finishes.
+func (h *ShardedHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the merge finishes or ctx is canceled, returning the
+// merged ArtifactTable byte-identical to a single-process run.
+func (h *ShardedHandle) Wait(ctx context.Context) (Artifacts, error) {
+	if ctx != nil {
+		select {
+		case <-h.done:
+		case <-ctx.Done():
+			return nil, runctl.Err(ctx)
+		}
+	} else {
+		<-h.done
+	}
+	return h.artifacts, h.err
+}
+
+// SubmitSharded fans a shardable figure sweep out over the given number
+// of shards — one content-addressed job per slice, all sharing the
+// sweep's shard directory under the scheduler's state dir — and merges
+// the per-shard journals into the final table when the last worker
+// finishes. The per-shard jobs ride the normal queue (tenant fair-share
+// and priorities apply slice by slice, so a wide sweep cannot starve
+// other tenants), and each slice resumes its own journal, so killed and
+// resubmitted workers pick up where they died.
+func (s *Scheduler) SubmitSharded(spec Spec, shards int, so SubmitOptions) (*ShardedHandle, error) {
+	if spec.Kind == "" {
+		spec.Kind = KindFigure
+	}
+	if spec.Kind != KindFigure {
+		return nil, fmt.Errorf("jobs: only figure jobs shard, not %s", spec.Kind)
+	}
+	if shards < 2 {
+		return nil, fmt.Errorf("jobs: sharded sweep needs at least 2 shards, got %d (submit normally instead)", shards)
+	}
+	if spec.ShardIndex != 0 || spec.ShardCount != 0 {
+		return nil, fmt.Errorf("jobs: SubmitSharded assigns the shard coordinates itself; spec already carries %d/%d", spec.ShardIndex, spec.ShardCount)
+	}
+	if s.opts.Dir == "" {
+		return nil, errors.New("jobs: sharded sweeps need a durable scheduler (Options.Dir) for the shard directory")
+	}
+	if so.RowJournal != nil {
+		return nil, errors.New("jobs: sharded sweeps own their per-shard journals; SubmitOptions.RowJournal must be nil")
+	}
+	slice0 := spec
+	slice0.ShardIndex, slice0.ShardCount = 0, shards
+	if err := slice0.Validate(); err != nil {
+		return nil, err
+	}
+
+	baseID, err := sweepBaseID(spec)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := s.sweepDir(spec)
+	if err != nil {
+		return nil, err
+	}
+	h := &ShardedHandle{s: s, baseID: baseID, dir: dir, spec: spec, done: make(chan struct{})}
+	if so.Obs != nil {
+		h.inst = *so.Obs
+	} else {
+		h.inst = Instruments{
+			Tracer:   obs.NewTracer(),
+			Metrics:  obs.NewRegistry(),
+			Progress: obs.NewProgress(),
+			Log:      s.log,
+		}
+	}
+	for i := 0; i < shards; i++ {
+		sl := spec
+		sl.ShardIndex, sl.ShardCount = i, shards
+		sh, err := s.Submit(sl, so)
+		if err != nil {
+			for _, prev := range h.shards {
+				s.Cancel(prev.ID())
+			}
+			return nil, fmt.Errorf("jobs: submit shard %d/%d: %w", i, shards, err)
+		}
+		h.shards = append(h.shards, sh)
+	}
+	s.log.Info("sharded sweep submitted", "sweep", baseID, "fig", spec.Fig, "shards", shards, "dir", dir)
+	go h.run(so.Context)
+	return h, nil
+}
+
+// run waits for every shard worker, ticking the coordinator's global
+// "shard.workers" phase, then merges. Any failed slice fails the sweep
+// (with every slice's error reported) and the merge is not attempted —
+// an incomplete sweep can only ever fail loudly, never produce a table.
+func (h *ShardedHandle) run(parent context.Context) {
+	defer close(h.done)
+	ph := h.inst.Progress.Phase("shard.workers")
+	ph.SetTotal(int64(len(h.shards)))
+	var errs []error
+	for i, sh := range h.shards {
+		if _, err := sh.Wait(parent); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d/%d (job %s): %w", i, len(h.shards), sh.ID(), err))
+			continue
+		}
+		ph.Add(1)
+	}
+	if len(errs) > 0 {
+		h.err = fmt.Errorf("jobs: sharded sweep %s: %w", h.baseID, errors.Join(errs...))
+		return
+	}
+	ph.Done()
+	ctx := parent
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h.inst.Log.Info("sharded sweep merging", "sweep", h.baseID, "dir", h.dir)
+	h.artifacts, h.err = MergeShards(ctx, h.spec, h.dir, h.inst)
+}

@@ -1,0 +1,166 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/runstate"
+)
+
+// TestSubmitShardedEquivalence: a sharded sweep on a durable scheduler
+// produces a table byte-identical to an unsharded run of the same spec,
+// and the coordinator's global "shard.workers" phase reaches its total.
+func TestSubmitShardedEquivalence(t *testing.T) {
+	clean := newTestScheduler(t, Options{Workers: 1})
+	want, err := mustSubmit(t, clean, tinyFigSpec(), SubmitOptions{}).Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestScheduler(t, Options{Workers: 2, Dir: t.TempDir()})
+	h, err := s.SubmitSharded(tinyFigSpec(), 3, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Shards()) != 3 {
+		t.Fatalf("sweep has %d shard jobs, want 3", len(h.Shards()))
+	}
+	got, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[ArtifactTable], want[ArtifactTable]) {
+		t.Errorf("sharded table differs from unsharded run:\n%s\nwant:\n%s",
+			got[ArtifactTable], want[ArtifactTable])
+	}
+	for _, ph := range h.Instruments().Progress.Status().Phases {
+		if ph.Name != "shard.workers" {
+			continue
+		}
+		if ph.Total != 3 || ph.Current != 3 {
+			t.Errorf("shard.workers = %d/%d, want 3/3", ph.Current, ph.Total)
+		}
+	}
+
+	// A second submission of the same sweep dedups slice by slice (each
+	// slice spec fingerprints identically) and merges to the same bytes.
+	h2, err := s.SubmitSharded(tinyFigSpec(), 3, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.ID() != h.ID() {
+		t.Errorf("sweep ids differ: %s vs %s", h2.ID(), h.ID())
+	}
+	got2, err := h2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2[ArtifactTable], want[ArtifactTable]) {
+		t.Error("resubmitted sweep's table differs")
+	}
+}
+
+// TestSubmitShardedValidation: malformed sweep submissions fail fast with
+// errors naming the problem.
+func TestSubmitShardedValidation(t *testing.T) {
+	mem := newTestScheduler(t, Options{Workers: 1})
+	if _, err := mem.SubmitSharded(tinyFigSpec(), 2, SubmitOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "Options.Dir") {
+		t.Errorf("memory-only scheduler accepted a sharded sweep: %v", err)
+	}
+
+	s := newTestScheduler(t, Options{Workers: 1, Dir: t.TempDir()})
+	if _, err := s.SubmitSharded(tinyFigSpec(), 1, SubmitOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "at least 2") {
+		t.Errorf("shards=1 accepted: %v", err)
+	}
+	preset := tinyFigSpec()
+	preset.ShardIndex, preset.ShardCount = 1, 2
+	if _, err := s.SubmitSharded(preset, 2, SubmitOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "shard coordinates") {
+		t.Errorf("spec with preset shard coordinates accepted: %v", err)
+	}
+	ccSpec := Spec{Kind: KindFigure, Fig: "cc"}
+	if _, err := s.SubmitSharded(ccSpec, 2, SubmitOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "not shardable") {
+		t.Errorf("non-shardable figure accepted: %v", err)
+	}
+	if _, err := s.SubmitSharded(designSpec(t), 2, SubmitOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "figure") {
+		t.Errorf("design spec accepted for sharding: %v", err)
+	}
+	j, err := runstate.Open(t.TempDir()+"/rows.jsonl", "fp", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := s.SubmitSharded(tinyFigSpec(), 2, SubmitOptions{RowJournal: j}); err == nil ||
+		!strings.Contains(err.Error(), "RowJournal") {
+		t.Errorf("caller-provided row journal accepted: %v", err)
+	}
+}
+
+// TestShardSliceNeedsDurability: a shard-coordinate figure spec submitted
+// directly to a memory-only scheduler fails with a clear error rather
+// than computing a slice nobody can merge.
+func TestShardSliceNeedsDurability(t *testing.T) {
+	s := newTestScheduler(t, Options{Workers: 1})
+	sl := tinyFigSpec()
+	sl.ShardIndex, sl.ShardCount = 0, 2
+	h, err := s.Submit(sl, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err) // validation passes; the failure is at execution
+	}
+	if _, err := h.Wait(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "durable scheduler") {
+		t.Errorf("memory-only slice run: %v, want durability error", err)
+	}
+}
+
+// TestMergeShardsRefusals: MergeShards fails closed on a sweep directory
+// that does not match the spec.
+func TestMergeShardsRefusals(t *testing.T) {
+	s := newTestScheduler(t, Options{Workers: 2, Dir: t.TempDir()})
+	h, err := s.SubmitSharded(tinyFigSpec(), 2, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong workload: the manifest fingerprint does not match the spec.
+	other := tinyFigSpec()
+	other.Seed++
+	if _, err := MergeShards(context.Background(), other, h.Dir(), Instruments{}); err == nil ||
+		!strings.Contains(err.Error(), "holds workload") {
+		t.Errorf("merge with wrong seed: %v, want workload mismatch", err)
+	}
+	// Wrong figure: same workload, different fig.
+	fig6c := tinyFigSpec()
+	fig6c.Fig = "6c"
+	if _, err := MergeShards(context.Background(), fig6c, h.Dir(), Instruments{}); err == nil ||
+		!strings.Contains(err.Error(), "figure") {
+		t.Errorf("merge with wrong figure: %v, want figure mismatch", err)
+	}
+	// No sweep directory at all.
+	if _, err := MergeShards(context.Background(), tinyFigSpec(), t.TempDir(), Instruments{}); err == nil {
+		t.Error("merge of an empty directory succeeded")
+	}
+	// Non-shardable figure.
+	ccSpec := Spec{Kind: KindFigure, Fig: "cc"}
+	if _, err := MergeShards(context.Background(), ccSpec, h.Dir(), Instruments{}); err == nil ||
+		!strings.Contains(err.Error(), "not shardable") {
+		t.Errorf("merge of non-shardable figure: %v", err)
+	}
+	// And the happy path from the same directory, standalone.
+	art, err := MergeShards(context.Background(), tinyFigSpec(), h.Dir(), Instruments{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(art[ArtifactTable], []byte("Fig. 6a")) {
+		t.Errorf("standalone merge artifact:\n%s", art[ArtifactTable])
+	}
+}

@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/runstate"
+)
+
+// FuzzShardManifest pins the fail-closed contract of the shard metadata:
+// whatever bytes land in a manifest file (torn writes, bit rot, hand
+// edits, version skew), ParseManifest either returns a fully valid
+// manifest or an error — never a panic, never a half-read zero value.
+// The same input is also fed to the journal scanner, which must round
+// down to an intact prefix under the identical no-panic contract, since
+// the merge step trusts both on the same directory.
+func FuzzShardManifest(f *testing.F) {
+	valid, err := Manifest{FP: "abcdef0123456789", Fig: "6a", Shards: 3,
+		Apps: 2, Procs: []int{20}, Seed: 3}.encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                      // torn write
+	f.Add(bytes.Replace(valid, []byte("crc"), []byte("crx"), 1))     // framing damage
+	f.Add(bytes.Replace(valid, []byte(`"v":1`), []byte(`"v":9`), 1)) // version skew
+	f.Add([]byte(`{"v":1,"m":{"fp":"x","fig":"6a","shards":-4},"crc":"00000000"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(nil))
+	f.Add([]byte("\x00\x01\x02garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err == nil {
+			// Whatever parsed must satisfy the merge invariants: journal
+			// names derivable, shard count usable.
+			if m.FP == "" || m.Fig == "" || m.Shards < 1 || m.Shards > 1<<20 {
+				t.Fatalf("invalid manifest parsed without error: %+v", m)
+			}
+			if JournalName(0, m.Shards) == "" {
+				t.Fatal("no journal name for a valid manifest")
+			}
+		}
+		// The journal scanner shares the fail-closed contract: arbitrary
+		// bytes round down to an intact prefix or nothing, without panics.
+		fp, ok, rows, goodLen := runstate.Scan(data)
+		if ok && goodLen > len(data) {
+			t.Fatalf("Scan claims %d good bytes of %d", goodLen, len(data))
+		}
+		if !ok && (fp != "" || len(rows) != 0) {
+			t.Fatalf("failed Scan still returned fp=%q rows=%d", fp, len(rows))
+		}
+	})
+}

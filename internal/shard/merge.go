@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/runstate"
+)
+
+// IncompleteError reports the shards that block a merge, one reason per
+// shard, so the operator knows exactly which workers to rerun (or which
+// journals were damaged) instead of guessing from a generic failure.
+type IncompleteError struct {
+	Dir     string
+	Shards  int
+	Reasons map[int]string // shard index → why it cannot be merged
+}
+
+func (e *IncompleteError) Error() string {
+	idx := make([]int, 0, len(e.Reasons))
+	for i := range e.Reasons {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	parts := make([]string, len(idx))
+	for k, i := range idx {
+		parts[k] = fmt.Sprintf("shard %d/%d: %s", i, e.Shards, e.Reasons[i])
+	}
+	return fmt.Sprintf("shard: merge refused, %d of %d shard journal(s) in %s unusable — %s",
+		len(e.Reasons), e.Shards, e.Dir, strings.Join(parts, "; "))
+}
+
+// Rows is the read-only union of a sweep's per-shard journals: the merge
+// step's row store. It satisfies the experiments harness's row-store
+// surface — Lookup serves journaled rows, Record refuses (a merge never
+// computes, so nothing may be recorded through it).
+type Rows struct {
+	manifest Manifest
+	rows     map[string]json.RawMessage
+	bySource map[string]int // row key → shard journal it came from
+}
+
+// Manifest returns the manifest the rows were loaded under.
+func (r *Rows) Manifest() Manifest { return r.manifest }
+
+// Len returns the number of distinct journaled rows across all shards.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// Source returns the shard whose journal holds key (-1 when absent).
+func (r *Rows) Source(key string) int {
+	if s, ok := r.bySource[key]; ok {
+		return s
+	}
+	return -1
+}
+
+// Lookup reports whether key was journaled by any shard, unmarshalling
+// its payload into v when v is non-nil.
+func (r *Rows) Lookup(key string, v any) bool {
+	data, ok := r.rows[key]
+	if !ok {
+		return false
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Record always fails: the merged row store is read-only by construction.
+// Reaching it means a figure tried to compute a row during a merge, which
+// the strict-restore mode of the experiments harness reports first with a
+// better error; this is the backstop.
+func (r *Rows) Record(key string, v any) error {
+	return fmt.Errorf("shard: merge is read-only, refusing to record row %q", key)
+}
+
+// Load opens a shard directory for merging: it verifies the manifest,
+// scans every per-shard journal (rounding a torn tail down to its intact
+// prefix, exactly like a resume would), and checks the merge invariants —
+// every journal present and bound to its expected fingerprint, and every
+// row journaled by the one shard that Index assigns it to. A violated
+// invariant returns an *IncompleteError naming the offending shards;
+// nothing is ever silently dropped or combined.
+func Load(dir string) (*Rows, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rows{
+		manifest: m,
+		rows:     make(map[string]json.RawMessage),
+		bySource: make(map[string]int),
+	}
+	bad := map[int]string{}
+	for i := 0; i < m.Shards; i++ {
+		name := JournalName(i, m.Shards)
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				bad[i] = fmt.Sprintf("journal %s missing (worker never ran?)", name)
+			} else {
+				bad[i] = fmt.Sprintf("journal %s unreadable: %v", name, err)
+			}
+			continue
+		}
+		fp, ok, rows, _ := runstate.Scan(data)
+		if !ok {
+			bad[i] = fmt.Sprintf("journal %s has no intact header", name)
+			continue
+		}
+		if want := JournalFingerprint(m.FP, i, m.Shards); fp != want {
+			bad[i] = fmt.Sprintf("journal %s fingerprint %s, want %s (different workload or shard coordinates)", name, fp, want)
+			continue
+		}
+		for _, row := range rows {
+			if owner := Index(row.Key, m.Shards); owner != i {
+				bad[i] = fmt.Sprintf("journal %s holds row %q owned by shard %d — journals were mixed or renamed", name, row.Key, owner)
+				break
+			}
+			if prev, dup := r.bySource[row.Key]; dup {
+				// Unreachable when the partition invariant holds (the same
+				// key cannot belong to two shards), kept as defense in depth.
+				bad[i] = fmt.Sprintf("row %q journaled by shards %d and %d", row.Key, prev, i)
+				break
+			}
+			r.rows[row.Key] = row.Data
+			r.bySource[row.Key] = i
+		}
+	}
+	if len(bad) > 0 {
+		return nil, &IncompleteError{Dir: dir, Shards: m.Shards, Reasons: bad}
+	}
+	return r, nil
+}
