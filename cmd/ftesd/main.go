@@ -18,6 +18,12 @@
 //	GET    /jobs/{id}/metrics        per-job introspection (obshttp):
 //	       /jobs/{id}/progress       Prometheus metrics, progress JSON,
 //	       /jobs/{id}/trace          Chrome trace snapshot
+//	       /jobs/{id}/events         this job's lifecycle events (SSE)
+//	GET    /events                   fleet-wide lifecycle event stream
+//	                                 (server-sent events; ?since=0 replays
+//	                                 the journal, durable across restarts
+//	                                 with -state)
+//	GET    /timeseries               sampled counter/gauge history
 //	GET    /metrics /healthz ...     daemon-level introspection (scheduler
 //	                                 queue depth, completions, pprof)
 //
@@ -53,6 +59,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"sync"
 	"syscall"
@@ -82,6 +89,7 @@ func run(args []string, stderr io.Writer) error {
 	logFormat := fs.String("log", "text", "structured log format on stderr: text, json or off")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	evalCacheDir := fs.String("eval-cache", "", "warm-start directory for the disk-backed evaluation cache shared by all jobs: repeated and resubmitted workloads skip recomputation (results are identical either way)")
+	sample := fs.Duration("sample", time.Second, "interval of the /timeseries metrics sampler")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,21 +105,38 @@ func run(args []string, stderr io.Writer) error {
 			return err
 		}
 	}
-	sched, err := jobs.New(jobs.Options{Workers: *workers, Dir: *state, Metrics: reg, Log: lg, EvalCache: ec})
+	// The lifecycle event journal shares the daemon's durability story:
+	// with -state it is an append-only CRC-framed file that replays on
+	// restart, so /events?since=0 shows the fleet's history across
+	// crashes; without -state it lives in memory like everything else.
+	var events *obs.EventLog
+	if *state != "" {
+		if events, err = obs.OpenEventLog(filepath.Join(*state, "events.jsonl")); err != nil {
+			return err
+		}
+	} else {
+		events = obs.NewEventLog()
+	}
+	defer events.Close()
+	sched, err := jobs.New(jobs.Options{Workers: *workers, Dir: *state, Metrics: reg, Log: lg, EvalCache: ec, Events: events})
 	if err != nil {
 		return err
 	}
 	if n := sched.Resumed(); n > 0 {
 		fmt.Fprintf(stderr, "ftesd: resumed %d in-flight job(s) from %s\n", n, *state)
 	}
+	sampler := obs.NewSampler(reg, *sample, 0)
+	sampler.Start()
+	defer sampler.Stop()
 
-	d := newDaemon(sched, reg, lg, *jobTimeout)
+	d := newDaemon(sched, reg, lg, *jobTimeout, events, sampler)
 	srv, err := obshttp.ServeHandler(*addr, d, obshttp.Options{DrainTimeout: *drain})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "ftesd: serving on %s\n", srv.URL())
 	lg.Info("ftesd up", "addr", srv.Addr(), "workers", *workers, "state", *state)
+	events.Emit("daemon.up", "", map[string]any{"addr": srv.Addr(), "workers": *workers})
 
 	// Two-stage shutdown: the first signal drains HTTP and cancels running
 	// jobs (they stay journaled as interrupted, to resume on next start);
@@ -133,6 +158,7 @@ func run(args []string, stderr io.Writer) error {
 	if err := sched.Close(closeCtx); err != nil {
 		return err
 	}
+	events.Emit("daemon.down", "", nil)
 	lg.Info("ftesd down")
 	return nil
 }
@@ -144,14 +170,17 @@ type daemon struct {
 	reg        *obs.Registry
 	lg         *obs.Logger
 	jobTimeout time.Duration
+	events     *obs.EventLog
+	sampler    *obs.Sampler
 	mux        *http.ServeMux
 
 	mu     sync.Mutex
 	sweeps map[string]*jobs.ShardedHandle
 }
 
-func newDaemon(sched *jobs.Scheduler, reg *obs.Registry, lg *obs.Logger, jobTimeout time.Duration) *daemon {
-	d := &daemon{sched: sched, reg: reg, lg: lg, jobTimeout: jobTimeout, mux: http.NewServeMux(),
+func newDaemon(sched *jobs.Scheduler, reg *obs.Registry, lg *obs.Logger, jobTimeout time.Duration, events *obs.EventLog, sampler *obs.Sampler) *daemon {
+	d := &daemon{sched: sched, reg: reg, lg: lg, jobTimeout: jobTimeout,
+		events: events, sampler: sampler, mux: http.NewServeMux(),
 		sweeps: make(map[string]*jobs.ShardedHandle)}
 	d.mux.HandleFunc("POST /jobs", d.submit)
 	d.mux.HandleFunc("GET /jobs", d.list)
@@ -162,10 +191,12 @@ func newDaemon(sched *jobs.Scheduler, reg *obs.Registry, lg *obs.Logger, jobTime
 	d.mux.HandleFunc("GET /sweeps", d.listSweeps)
 	d.mux.HandleFunc("GET /sweeps/{id}", d.sweepStatus)
 	d.mux.HandleFunc("GET /sweeps/{id}/artifacts/{name}", d.sweepArtifact)
-	// Everything else — /metrics, /healthz, /debug/pprof, the index — is
-	// daemon-level introspection over the scheduler's own instruments
-	// (queue depth, queue wait, completions).
-	d.mux.Handle("/", obshttp.Handler(obshttp.Options{Registry: reg}))
+	// Everything else — /metrics, /events, /timeseries, /healthz,
+	// /debug/pprof, the index — is daemon-level introspection: the
+	// scheduler's own instruments (queue depth, queue wait, completions),
+	// the fleet-wide lifecycle event stream and the sampled counter
+	// history.
+	d.mux.Handle("/", obshttp.Handler(obshttp.Options{Registry: reg, Events: events, Sampler: sampler}))
 	return d
 }
 
@@ -512,7 +543,10 @@ func (d *daemon) introspect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	inst := h.Job().Instruments()
-	sub := obshttp.Handler(obshttp.Options{Registry: inst.Metrics, Progress: inst.Progress, Tracer: inst.Tracer})
+	// The job's own event stream: the daemon log filtered down to this id
+	// (EventJob), alongside its private metrics/progress/trace.
+	sub := obshttp.Handler(obshttp.Options{Registry: inst.Metrics, Progress: inst.Progress, Tracer: inst.Tracer,
+		Events: d.events, EventJob: id})
 	http.StripPrefix("/jobs/"+id, sub).ServeHTTP(w, r)
 }
 

@@ -29,7 +29,7 @@ func newTestServer(t *testing.T, o jobs.Options) (*httptest.Server, *jobs.Schedu
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newDaemon(sched, reg, nil, 0))
+	srv := httptest.NewServer(newDaemon(sched, reg, nil, 0, o.Events, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		sched.Close(context.Background())
@@ -245,7 +245,7 @@ func TestRestartResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := httptest.NewServer(newDaemon(sched1, reg1, nil, 0))
+	srv1 := httptest.NewServer(newDaemon(sched1, reg1, nil, 0, nil, nil))
 	_, sr := postJSON(t, srv1.URL+"/jobs", tinyFigBody)
 	// "Crash": tear the daemon down while the job runs. Close cancels the
 	// run cooperatively; the completion is never journaled, so the job is

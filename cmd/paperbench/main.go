@@ -30,9 +30,17 @@
 //
 // Live introspection: -serve ADDR exposes /metrics (Prometheus text
 // exposition), /progress (JSON), /trace (Chrome trace snapshot),
-// /healthz, /debug/vars and /debug/pprof for the duration of the run;
-// -progress renders a throttled status line on stderr. Both are
-// observation-only: the tables are byte-identical with or without them.
+// /events (lifecycle events over server-sent events), /timeseries
+// (sampled counter history), /healthz, /debug/vars and /debug/pprof for
+// the duration of the run; -progress renders a throttled status line on
+// stderr. Both are observation-only: the tables are byte-identical with
+// or without them.
+//
+// Sharded sweeps trace across processes: every worker snapshots its
+// trace into the shard directory, and -merge -trace FILE stitches all
+// of them (plus the merge itself) into one timeline. -trace-parent (or
+// $FTES_TRACE_PARENT) reconnects a worker's spans under a coordinator
+// span across the process boundary.
 //
 // All diagnostics (-progress, -log, -metrics, the -serve banner) go to
 // stderr or to files; stdout carries only the tables, so redirecting it
@@ -143,6 +151,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	shardDir := fs.String("shard-dir", "", "with -shards: the sweep's shard directory (manifest + per-shard journals), shared by all workers")
 	mergeDir := fs.String("merge", "", "merge the per-shard journals in this directory into the final table; computes nothing, and refuses (naming the incomplete shards) unless every shard finished")
 	evalCacheDir := fs.String("eval-cache", "", "warm-start directory for the disk-backed evaluation cache: memoized schedules/solutions are loaded from and flushed to it, so repeated runs skip recomputation (results are identical either way)")
+	traceParent := fs.String("trace-parent", os.Getenv("FTES_TRACE_PARENT"), "cross-process parent span reference (traceID:spanID) this run's root spans attach to; a sweep coordinator passes it to its shard workers so the merged trace is one tree (default: $FTES_TRACE_PARENT)")
+	sampleInterval := fs.Duration("sample-interval", time.Second, "with -serve: interval of the /timeseries metrics sampler")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,7 +171,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		reg = obs.NewRegistry()
 	}
 	var prog *obs.Progress
-	if *progress || *serve != "" {
+	if *progress || *serve != "" || *benchJSON != "" {
 		prog = obs.NewProgress()
 	}
 	lg, err := newLogger(*logFormat, *logLevel)
@@ -198,8 +208,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}()
 	}
 
+	var events *obs.EventLog
+	var sampler *obs.Sampler
 	if *serve != "" {
-		srv, err := obshttp.Serve(*serve, obshttp.Options{Registry: reg, Progress: prog, Tracer: tracer})
+		// The event stream and time series exist for the lifetime of the
+		// introspection server: /events narrates each figure job live and
+		// /timeseries keeps a ring of counter snapshots.
+		events = obs.NewEventLog()
+		defer events.Close()
+		sampler = obs.NewSampler(reg, *sampleInterval, 0)
+		sampler.Start()
+		defer sampler.Stop()
+		srv, err := obshttp.Serve(*serve, obshttp.Options{
+			Registry: reg, Progress: prog, Tracer: tracer,
+			Events: events, Sampler: sampler,
+		})
 		if err != nil {
 			return err
 		}
@@ -324,6 +347,20 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		defer j.Close()
 		rowJournal = j
 		base.ShardIndex, base.ShardCount = *shardIdx, *shards
+		// A worker always traces, whether or not -trace asked for a local
+		// file: its snapshot lands next to its journal so a later merge can
+		// stitch the whole fleet into one timeline. The snapshot is written
+		// on every exit path — an interrupted worker still leaves its
+		// partial lane behind.
+		if tracer == nil {
+			tracer = obs.NewTracer()
+		}
+		tracer.SetProcessLabel(fmt.Sprintf("shard %d/%d", *shardIdx, *shards))
+		defer func() {
+			if err := writeWorkerTrace(tracer, *shardDir, *shardIdx, *shards); err != nil {
+				fmt.Fprintln(stderr, "paperbench: worker trace snapshot:", err)
+			}
+		}()
 		if reg != nil {
 			reg.GaugeFunc("journal_rows_restored", func() float64 { return float64(j.Restored()) })
 			reg.GaugeFunc("journal_rows_appended", func() float64 { return float64(j.Appended()) })
@@ -332,6 +369,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			fmt.Fprintf(stderr, "paperbench: resuming shard %d/%d: %d journaled rows restored\n", *shardIdx, *shards, j.Restored())
 		}
 	}
+
+	// Reconnect this process's root spans under the coordinator's span
+	// when one was handed down (no-op on an empty ref).
+	tracer.SetRemoteParent(*traceParent)
 
 	// One single-worker scheduler runs the figures in order; the process
 	// instruments ride along on every job, so -serve, -trace and -metrics
@@ -342,16 +383,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 	}
-	sched, err := jobs.New(jobs.Options{Workers: 1, Metrics: reg, Log: lg, EvalCache: ec})
+	sched, err := jobs.New(jobs.Options{Workers: 1, Metrics: reg, Log: lg, EvalCache: ec, Events: events})
 	if err != nil {
 		return err
 	}
 	defer sched.Close(context.Background())
 	inst := &jobs.Instruments{Tracer: tracer, Metrics: reg, Progress: prog, Log: lg}
 
+	type phaseTiming struct {
+		Phase    string  `json:"phase"`
+		ActiveMs float64 `json:"active_ms"`
+	}
 	type figTiming struct {
-		Fig    string  `json:"fig"`
-		WallMs float64 `json:"wall_ms"`
+		Fig    string        `json:"fig"`
+		WallMs float64       `json:"wall_ms"`
+		Phases []phaseTiming `json:"phases,omitempty"`
 	}
 	var timings []figTiming
 	for i, name := range selected {
@@ -359,6 +405,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			fmt.Fprintln(w)
 		}
 		start := time.Now()
+		phasesBefore := phaseActives(prog)
 		spec := base
 		spec.Fig = name
 		var art jobs.Artifacts
@@ -400,23 +447,47 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			}
 			return fmt.Errorf("%s: %w", jobs.FigureTitle(name), err)
 		}
-		timings = append(timings, figTiming{Fig: name, WallMs: float64(elapsed) / float64(time.Millisecond)})
+		ft := figTiming{Fig: name, WallMs: float64(elapsed) / float64(time.Millisecond)}
+		if prog != nil && *benchJSON != "" {
+			// Attribute this figure's wall time to the progress phases that
+			// advanced during it: the delta of each phase's active window
+			// (first tick to last tick) across the figure.
+			for _, ph := range prog.Status().Phases {
+				delta := ph.Active - phasesBefore[ph.Name]
+				if delta > 0 {
+					ft.Phases = append(ft.Phases, phaseTiming{
+						Phase: ph.Name, ActiveMs: float64(delta) / float64(time.Millisecond)})
+				}
+			}
+		}
+		timings = append(timings, ft)
 		fmt.Fprintf(w, "(%s regenerated in %v)\n", jobs.FigureTitle(name), elapsed.Round(time.Millisecond))
 	}
 
 	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			return fmt.Errorf("-trace: %w", err)
+		if *mergeDir != "" {
+			// Merge mode stitches the fleet: this process's merge spans plus
+			// every worker snapshot found in the shard directory, one
+			// process lane each, cross-process parents resolved.
+			n, err := writeMergedTrace(*trace, tracer, *mergeDir)
+			if err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			fmt.Fprintf(w, "(trace: merged %d processes into %s)\n", n, *trace)
+		} else {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			err = tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			fmt.Fprintf(w, "(trace: %d spans written to %s)\n", tracer.SpanCount(), *trace)
 		}
-		err = tracer.WriteChromeTrace(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("-trace: %w", err)
-		}
-		fmt.Fprintf(w, "(trace: %d spans written to %s)\n", tracer.SpanCount(), *trace)
 	}
 	// The counter dump goes to stderr (or a file), never stdout: stdout
 	// carries only the golden-compared tables.
@@ -579,6 +650,77 @@ func renderProgress(p *obs.Progress, w io.Writer) (stop func()) {
 		}
 	}()
 	return func() { close(stopCh); <-done }
+}
+
+// phaseActives snapshots each progress phase's active window, so a later
+// snapshot can be diffed into per-figure phase durations.
+func phaseActives(p *obs.Progress) map[string]time.Duration {
+	if p == nil {
+		return nil
+	}
+	out := map[string]time.Duration{}
+	for _, ph := range p.Status().Phases {
+		out[ph.Name] = ph.Active
+	}
+	return out
+}
+
+// writeWorkerTrace atomically snapshots a shard worker's trace into the
+// sweep's shard directory under the slice's canonical trace name, where
+// the merge step (and jobs.SubmitSharded coordinators) will find it.
+func writeWorkerTrace(tr *obs.Tracer, dir string, index, shards int) error {
+	tmp, err := os.CreateTemp(dir, ".trace-*")
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	dst := filepath.Join(dir, shard.TraceName(index, shards))
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// writeMergedTrace stitches the merge process's own trace with every
+// worker snapshot in the shard directory into one cross-process Chrome
+// trace at path, returning how many process lanes it holds. Missing
+// snapshots narrow the merge (a worker may predate tracing); an empty
+// directory still yields the local lane.
+func writeMergedTrace(path string, tr *obs.Tracer, dir string) (int, error) {
+	inputs := []obs.TraceData{tr.TraceData()}
+	names, err := filepath.Glob(filepath.Join(dir, "trace-*-of-*.json"))
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		td, rerr := obs.ReadTraceFile(name)
+		if rerr != nil {
+			fmt.Fprintf(stderr, "paperbench: worker trace %s unreadable: %v\n", name, rerr)
+			continue
+		}
+		inputs = append(inputs, td)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	err = obs.MergeTraces(f, inputs...)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return len(inputs), nil
 }
 
 // splitInts parses a comma-separated list of positive ints, ignoring empty

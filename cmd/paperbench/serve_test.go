@@ -233,6 +233,10 @@ func TestBenchJSON(t *testing.T) {
 		Figures   []struct {
 			Fig    string  `json:"fig"`
 			WallMs float64 `json:"wall_ms"`
+			Phases []struct {
+				Phase    string  `json:"phase"`
+				ActiveMs float64 `json:"active_ms"`
+			} `json:"phases"`
 		} `json:"figures"`
 		TotalMs float64      `json:"total_ms"`
 		Metrics obs.Snapshot `json:"metrics"`
@@ -245,6 +249,20 @@ func TestBenchJSON(t *testing.T) {
 	}
 	if len(rec.Figures) != 1 || rec.Figures[0].Fig != "cc" || rec.Figures[0].WallMs <= 0 {
 		t.Errorf("figures = %+v", rec.Figures)
+	}
+	// The record attributes the figure's time to its progress phases: cc
+	// ticks the "cc.strategies" phase once per strategy.
+	var ccPhase bool
+	for _, ph := range rec.Figures[0].Phases {
+		if ph.Phase == "cc.strategies" {
+			ccPhase = true
+			if ph.ActiveMs <= 0 {
+				t.Errorf("cc.strategies active_ms = %v, want > 0", ph.ActiveMs)
+			}
+		}
+	}
+	if !ccPhase {
+		t.Errorf("figure phases lack cc.strategies: %+v", rec.Figures[0].Phases)
 	}
 	if rec.TotalMs <= 0 {
 		t.Errorf("total_ms = %v", rec.TotalMs)

@@ -36,6 +36,7 @@ import (
 	"context"
 	"io"
 	"log/slog"
+	"time"
 
 	"repro/internal/appmodel"
 	"repro/internal/core"
@@ -365,6 +366,21 @@ type (
 	// IntrospectionServer serves live state over HTTP; see
 	// ServeIntrospection.
 	IntrospectionServer = obshttp.Server
+	// EventLog is the durable, append-only fleet lifecycle event journal;
+	// obshttp streams it over /events as server-sent events.
+	EventLog = obs.EventLog
+	// EventScope is an EventLog view bound to one job id.
+	EventScope = obs.EventScope
+	// LogEvent is one recorded lifecycle event.
+	LogEvent = obs.LogEvent
+	// Sampler periodically snapshots a Metrics registry into a ring
+	// buffer; obshttp serves the series over /timeseries.
+	Sampler = obs.Sampler
+	// TimeSeries is a Sampler's exported sample window.
+	TimeSeries = obs.TimeSeries
+	// TraceData is one process's parsed trace — the unit MergeTraces
+	// stitches across processes.
+	TraceData = obs.TraceData
 )
 
 // NewTracer returns an enabled tracer whose clock starts now.
@@ -384,14 +400,51 @@ func NewTextLogger(w io.Writer, level slog.Leveler) *Logger { return obs.NewText
 // or above level to w.
 func NewJSONLogger(w io.Writer, level slog.Leveler) *Logger { return obs.NewJSONLogger(w, level) }
 
+// NewEventLog returns an enabled in-memory event log (nothing persisted).
+func NewEventLog() *EventLog { return obs.NewEventLog() }
+
+// OpenEventLog opens (creating if needed) the durable event journal at
+// path, replaying any events an earlier process recorded there.
+func OpenEventLog(path string) (*EventLog, error) { return obs.OpenEventLog(path) }
+
+// NewSampler returns a sampler snapshotting reg every interval into a
+// ring of capacity samples (0 picks the defaults: 1s, 720 samples).
+// Call Start to begin sampling and Stop when done.
+func NewSampler(reg *Metrics, interval time.Duration, capacity int) *Sampler {
+	return obs.NewSampler(reg, interval, capacity)
+}
+
+// ReadTraceFile parses one Chrome trace_event JSON file written by
+// Tracer.WriteChromeTrace (or a worker's shard snapshot) for merging.
+func ReadTraceFile(path string) (TraceData, error) { return obs.ReadTraceFile(path) }
+
+// MergeTraces stitches per-process traces into one Chrome trace on w:
+// each input gets its own process lane, span ids are renumbered globally,
+// cross-process parent references resolve to real parent links, and
+// timestamps align on the processes' wall clocks.
+func MergeTraces(w io.Writer, traces ...TraceData) error { return obs.MergeTraces(w, traces...) }
+
 // ServeIntrospection starts an HTTP server on addr (e.g. ":8080", or
 // "127.0.0.1:0" for an ephemeral port) exposing the given instruments
 // live: /metrics (Prometheus text exposition), /progress (JSON),
 // /trace (Chrome trace_event JSON), /healthz, /debug/vars (expvar) and
 // /debug/pprof. Any instrument may be nil. Close the returned server
-// when done.
+// when done. For the event stream (/events) and metrics time series
+// (/timeseries), use ServeFleetIntrospection.
 func ServeIntrospection(addr string, tracer *Tracer, metrics *Metrics, progress *Progress) (*IntrospectionServer, error) {
 	return obshttp.Serve(addr, obshttp.Options{Registry: metrics, Progress: progress, Tracer: tracer})
+}
+
+// ServeFleetIntrospection is ServeIntrospection plus the fleet surfaces:
+// /events streams the event log live over server-sent events and
+// /timeseries serves the sampler's metric history. events and sampler
+// may each be nil, which disables the corresponding endpoint's data
+// (the route still responds).
+func ServeFleetIntrospection(addr string, tracer *Tracer, metrics *Metrics, progress *Progress, events *EventLog, sampler *Sampler) (*IntrospectionServer, error) {
+	return obshttp.Serve(addr, obshttp.Options{
+		Registry: metrics, Progress: progress, Tracer: tracer,
+		Events: events, Sampler: sampler,
+	})
 }
 
 // Synthetic workloads (Section 7).

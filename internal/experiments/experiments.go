@@ -87,6 +87,11 @@ type Config struct {
 	Metrics  *obs.Registry
 	Progress *obs.Progress
 	Log      *obs.Logger
+	// Events, when non-nil, receives low-rate lifecycle events the fleet
+	// event stream surfaces per job: currently one "app.timeout" per
+	// application that hit AppTimeout. Like the other hooks it is
+	// observation-only and nil-disabled.
+	Events *obs.EventScope
 	// AppTimeout, when > 0, puts a deadline on each application's design
 	// runs. An application that exceeds it is counted as rejected for
 	// every strategy (and in the experiments.app_timeouts counter) and the
@@ -341,6 +346,10 @@ func AcceptanceStats(ctx context.Context, cfg Config, pt Point) (Rates, map[core
 					cfg.Log.Warn("application timed out, counted as rejected",
 						"seed", jb.seed, "processes", jb.procs,
 						"strategy", s.String(), "timeout", cfg.AppTimeout)
+					cfg.Events.Emit("app.timeout", map[string]any{
+						"seed": jb.seed, "processes": jb.procs,
+						"strategy": s.String(), "timeout_ms": cfg.AppTimeout.Milliseconds(),
+					})
 					appSpan.SetAttr(obs.Bool("timeout", true))
 					return nil
 				}

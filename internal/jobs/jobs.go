@@ -44,6 +44,11 @@ const (
 // byte-identical to what cmd/paperbench prints for the same flags.
 const ArtifactTable = "table.txt"
 
+// ArtifactTrace is the artifact name of a sharded sweep's merged Chrome
+// trace: the coordinator's spans plus every worker's trace snapshot,
+// stitched by obs.MergeTraces into one cross-process timeline.
+const ArtifactTrace = "trace.json"
+
 // Artifact names of a design job.
 const (
 	// ArtifactResultText is the human-readable design summary.
@@ -214,6 +219,11 @@ type Instruments struct {
 	Metrics  *obs.Registry
 	Progress *obs.Progress
 	Log      *obs.Logger
+	// Events is the job's scope into the scheduler's event log. The
+	// scheduler fills it in when Options.Events is configured and the
+	// submitter left it nil; runners emit low-rate lifecycle events
+	// (app timeouts, shard resumes) through it.
+	Events *obs.EventScope
 }
 
 // Status is a point-in-time snapshot of one job.

@@ -35,6 +35,7 @@ func runFigure(ctx context.Context, j *Job, rowJ *runstate.Journal, ec *evalcach
 		AppTimeout: spec.AppTimeout,
 		ShardIndex: spec.ShardIndex, ShardCount: spec.ShardCount,
 		Metrics: j.obs.Metrics, Progress: j.obs.Progress, Log: j.obs.Log,
+		Events:    j.obs.Events,
 		EvalCache: ec,
 	}
 	if rowJ != nil {
@@ -98,6 +99,7 @@ func MergeShards(ctx context.Context, spec Spec, dir string, inst Instruments) (
 		ShardIndex: -1, ShardCount: m.Shards,
 		RequireJournaled: true,
 		Metrics:          inst.Metrics, Progress: inst.Progress, Log: inst.Log,
+		Events:           inst.Events,
 	}
 	return renderFigure(ctx, base, cfg, inst, nil)
 }

@@ -49,6 +49,12 @@ type Options struct {
 	Metrics *obs.Registry
 	// Log receives scheduler lifecycle records (nil disables logging).
 	Log *obs.Logger
+	// Events, when non-nil, receives the fleet lifecycle event stream:
+	// job submitted/started/done/failed/canceled/interrupted, dedup hits,
+	// resumes, shard and sweep milestones, eval-cache warm/cold, panics
+	// recovered. ftesd opens a durable log under its state dir so the
+	// stream survives restarts; paperbench -serve uses a memory-only log.
+	Events *obs.EventLog
 	// EvalCache, when non-nil, is the disk-backed evaluation cache every
 	// job's design runs share (core.Options.EvalCache): resubmitted and
 	// repeated jobs warm-start from what earlier jobs persisted. It lives
@@ -119,6 +125,14 @@ type SubmitOptions struct {
 	// jobs (paperbench -journal); the scheduler then neither opens nor
 	// closes a per-job one.
 	RowJournal *runstate.Journal
+	// TraceParent, when non-empty, is the cross-process span reference
+	// (obs.Span.Ref) the job's root spans hang under once traces are
+	// merged. SubmitSharded sets it to its sweep span so every slice's
+	// trace reconnects under the coordinator. Like the other fields here
+	// it is not part of the job's identity. It applies only to the
+	// scheduler's own per-job tracer (ignored when Obs is provided — a
+	// shared tracer must not inherit one submission's parent).
+	TraceParent string
 }
 
 // Handle is a submitter's reference to a (possibly shared) job.
@@ -158,8 +172,9 @@ func (h *Handle) Status() Status { return h.s.status(h.j) }
 // Scheduler runs jobs from a priority + fair-share queue on a bounded
 // worker pool. Create one with New and stop it with Close.
 type Scheduler struct {
-	opts Options
-	log  *obs.Logger
+	opts   Options
+	log    *obs.Logger
+	events *obs.EventLog
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -211,6 +226,7 @@ func New(o Options) (*Scheduler, error) {
 	s := &Scheduler{
 		opts:   o,
 		log:    o.Log,
+		events: o.Events,
 		jobs:   make(map[string]*Job),
 		queues: make(map[string][]*Job),
 
@@ -297,6 +313,7 @@ func (s *Scheduler) recover() {
 		s.resumed++
 		s.enqueueLocked(j)
 		s.log.Info("job resumed from state journal", "job", p.id, "kind", p.rec.Spec.Kind, "fig", p.rec.Spec.Fig)
+		s.events.Emit("job.resumed", p.id, eventFields(p.rec.Spec))
 	}
 }
 
@@ -335,6 +352,13 @@ func (s *Scheduler) newJob(id string, spec Spec, so SubmitOptions) *Job {
 			Progress: obs.NewProgress(),
 			Log:      s.log,
 		}
+		j.obs.Tracer.SetRemoteParent(so.TraceParent)
+		if spec.ShardCount > 1 {
+			j.obs.Tracer.SetProcessLabel(fmt.Sprintf("shard %d/%d", spec.ShardIndex, spec.ShardCount))
+		}
+	}
+	if j.obs.Events == nil {
+		j.obs.Events = s.events.Scoped(id)
 	}
 	return j
 }
@@ -362,10 +386,12 @@ func (s *Scheduler) Submit(spec Spec, so SubmitOptions) (*Handle, error) {
 			// replaces the dead one in the index).
 			delete(s.jobs, id)
 		default:
-			j.submits++
+			submits := j.submits + 1
+			j.submits = submits
 			s.mu.Unlock()
 			s.mDedup.Add(1)
-			s.log.Info("job deduplicated", "job", id, "submits", j.submits)
+			s.log.Info("job deduplicated", "job", id, "submits", submits)
+			s.events.Emit("job.dedup", id, map[string]any{"submits": submits})
 			return &Handle{s, j}, nil
 		}
 	}
@@ -387,6 +413,7 @@ func (s *Scheduler) Submit(spec Spec, so SubmitOptions) (*Handle, error) {
 	}
 	s.mSubmitted.Add(1)
 	s.log.Info("job submitted", "job", id, "kind", spec.Kind, "fig", spec.Fig, "tenant", so.Tenant, "priority", so.Priority)
+	s.events.Emit("job.submitted", id, eventFields(spec))
 
 	s.mu.Lock()
 	if s.closing {
@@ -483,6 +510,12 @@ func (s *Scheduler) runJob(j *Job) {
 	s.gRunning.Set(s.gRunning.Value() + 1)
 	s.hQueueWait.Observe(start.Sub(j.submittedAt))
 	s.log.Info("job start", "job", j.id, "kind", j.spec.Kind, "fig", j.spec.Fig, "queue_wait", start.Sub(j.submittedAt))
+	s.events.Emit("job.started", j.id, eventFields(j.spec))
+	if j.spec.ShardCount > 1 {
+		s.events.Emit("shard.started", j.id, map[string]any{
+			"index": j.spec.ShardIndex, "count": j.spec.ShardCount, "fig": j.spec.Fig,
+		})
+	}
 
 	ctx, cancel := context.WithCancel(j.parent)
 	s.mu.Lock()
@@ -494,7 +527,29 @@ func (s *Scheduler) runJob(j *Job) {
 		runCtx, cancelTimeout = context.WithTimeout(ctx, j.timeout)
 	}
 
+	var cacheBefore evalcache.Stats
+	if s.opts.EvalCache != nil {
+		cacheBefore = s.opts.EvalCache.Stats()
+	}
+
 	artifacts, err := s.execute(runCtx, j)
+
+	if s.opts.EvalCache != nil {
+		// Warm vs cold is a per-job, best-effort read of the shared cache:
+		// did this run load anything an earlier run persisted? Concurrent
+		// jobs can blur the delta; the answer is still the right signal for
+		// "was the cache worth having" dashboards.
+		after := s.opts.EvalCache.Stats()
+		typ := "evalcache.cold"
+		if after.LoadHits > cacheBefore.LoadHits {
+			typ = "evalcache.warm"
+		}
+		s.events.Emit(typ, j.id, map[string]any{
+			"load_hits": after.LoadHits - cacheBefore.LoadHits,
+			"loads":     after.Loads - cacheBefore.Loads,
+			"saves":     after.Saves - cacheBefore.Saves,
+		})
+	}
 
 	if cancelTimeout != nil {
 		cancelTimeout()
@@ -511,6 +566,7 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (art Artifacts, err err
 	switch j.spec.Kind {
 	case KindFigure:
 		rowJ := j.rowJournal
+		sliceTrace := false
 		switch {
 		case rowJ != nil:
 		case j.spec.ShardCount > 1:
@@ -526,6 +582,13 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (art Artifacts, err err
 			}
 			defer rj.Close()
 			rowJ = rj
+			sliceTrace = true
+			if rj.Restored() > 0 {
+				j.obs.Events.Emit("shard.resumed", map[string]any{
+					"index": j.spec.ShardIndex, "count": j.spec.ShardCount,
+					"restored_rows": rj.Restored(),
+				})
+			}
 		case s.opts.Dir != "":
 			// The row journal is keyed by the job fingerprint, so it can
 			// only ever resume the spec that wrote it.
@@ -536,7 +599,17 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (art Artifacts, err err
 			defer rj.Close()
 			rowJ = rj
 		}
-		return runFigure(ctx, j, rowJ, s.opts.EvalCache)
+		art, ferr := runFigure(ctx, j, rowJ, s.opts.EvalCache)
+		if sliceTrace {
+			// Snapshot the slice's trace (final durations, open spans flagged
+			// unfinished) into the shard directory next to its journal, so the
+			// sweep merge can stitch every worker's timeline. Observation-only:
+			// a failed snapshot is logged, never fails the job.
+			if terr := s.writeShardTrace(j); terr != nil {
+				s.log.Error("shard trace not written", "job", j.id, "err", terr.Error())
+			}
+		}
+		return art, ferr
 	case KindDesign:
 		return runDesign(ctx, j.spec, j.obs, s.opts.EvalCache)
 	case kindTest:
@@ -594,20 +667,46 @@ func (s *Scheduler) completeJob(j *Job, artifacts Artifacts, err error) {
 	s.mu.Unlock()
 	close(j.done)
 
+	var pe *runctl.PanicError
+	if errors.As(err, &pe) {
+		s.events.Emit("panic.recovered", j.id, map[string]any{
+			"where": pe.Where, "value": fmt.Sprint(pe.Value),
+		})
+	}
 	switch state {
 	case StateDone:
 		s.mCompleted.Add(1)
 		s.log.Info("job done", "job", j.id, "elapsed", j.finishedAt.Sub(j.startedAt))
+		s.events.Emit("job.done", j.id, map[string]any{
+			"elapsed_ms": j.finishedAt.Sub(j.startedAt).Milliseconds(),
+		})
 	case StateCanceled:
 		s.mCanceled.Add(1)
 		s.log.Info("job canceled", "job", j.id)
+		s.events.Emit("job.canceled", j.id, nil)
 	case StateInterrupted:
 		s.mInterrupted.Add(1)
 		s.log.Info("job interrupted", "job", j.id)
+		s.events.Emit("job.interrupted", j.id, nil)
 	default:
 		s.mFailed.Add(1)
 		s.log.Error("job failed", "job", j.id, "err", err.Error())
+		s.events.Emit("job.failed", j.id, map[string]any{"error": err.Error()})
 	}
+}
+
+// eventFields condenses a spec into the detail fields its lifecycle
+// events carry.
+func eventFields(spec Spec) map[string]any {
+	f := map[string]any{"kind": spec.Kind}
+	if spec.Fig != "" {
+		f["fig"] = spec.Fig
+	}
+	if spec.ShardCount > 1 {
+		f["shard_index"] = spec.ShardIndex
+		f["shard_count"] = spec.ShardCount
+	}
+	return f
 }
 
 // Get returns a handle on the job with the given id.

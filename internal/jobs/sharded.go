@@ -1,9 +1,11 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 
 	"repro/internal/obs"
@@ -62,6 +64,10 @@ type ShardedHandle struct {
 	spec   Spec // base spec, shard coordinates zeroed
 	shards []*Handle
 	inst   Instruments
+	// sweepSpan is the coordinator's span covering the whole sweep; every
+	// slice's trace reconnects under it (via SubmitOptions.TraceParent)
+	// when the merged ArtifactTrace is stitched.
+	sweepSpan *obs.Span
 
 	artifacts Artifacts
 	err       error
@@ -155,7 +161,18 @@ func (s *Scheduler) SubmitSharded(spec Spec, shards int, so SubmitOptions) (*Sha
 			Progress: obs.NewProgress(),
 			Log:      s.log,
 		}
+		h.inst.Tracer.SetProcessLabel("coordinator")
 	}
+	if h.inst.Events == nil {
+		h.inst.Events = s.events.Scoped(baseID)
+	}
+	// The sweep span brackets the whole fan-out; its reference rides into
+	// every slice as the trace parent, so the merged trace is one tree.
+	// sweep.submitted lands before any slice job so the journal always
+	// orders it ahead of the slices' own lifecycle events.
+	h.sweepSpan = h.inst.Tracer.Start("sweep."+spec.Fig, obs.Int("shards", shards))
+	so.TraceParent = h.sweepSpan.Ref()
+	s.events.Emit("sweep.submitted", baseID, map[string]any{"fig": spec.Fig, "shards": shards})
 	for i := 0; i < shards; i++ {
 		sl := spec
 		sl.ShardIndex, sl.ShardCount = i, shards
@@ -164,6 +181,8 @@ func (s *Scheduler) SubmitSharded(spec Spec, shards int, so SubmitOptions) (*Sha
 			for _, prev := range h.shards {
 				s.Cancel(prev.ID())
 			}
+			h.sweepSpan.End()
+			s.events.Emit("sweep.failed", baseID, map[string]any{"error": err.Error()})
 			return nil, fmt.Errorf("jobs: submit shard %d/%d: %w", i, shards, err)
 		}
 		h.shards = append(h.shards, sh)
@@ -190,7 +209,9 @@ func (h *ShardedHandle) run(parent context.Context) {
 		ph.Add(1)
 	}
 	if len(errs) > 0 {
+		h.sweepSpan.End()
 		h.err = fmt.Errorf("jobs: sharded sweep %s: %w", h.baseID, errors.Join(errs...))
+		h.s.events.Emit("sweep.failed", h.baseID, map[string]any{"error": h.err.Error()})
 		return
 	}
 	ph.Done()
@@ -200,4 +221,81 @@ func (h *ShardedHandle) run(parent context.Context) {
 	}
 	h.inst.Log.Info("sharded sweep merging", "sweep", h.baseID, "dir", h.dir)
 	h.artifacts, h.err = MergeShards(ctx, h.spec, h.dir, h.inst)
+	h.sweepSpan.End()
+	if h.err != nil {
+		h.s.events.Emit("sweep.failed", h.baseID, map[string]any{"error": h.err.Error()})
+		return
+	}
+	if data := h.mergedTrace(); data != nil {
+		h.artifacts[ArtifactTrace] = data
+	}
+	h.s.events.Emit("sweep.merged", h.baseID, map[string]any{
+		"fig": h.spec.Fig, "shards": len(h.shards),
+	})
+}
+
+// mergedTrace stitches the coordinator's trace with every worker trace
+// snapshot found in the shard directory into one cross-process Chrome
+// trace. Best-effort and observation-only: a missing snapshot (a worker
+// that ran before tracing existed, or a copy that lost a file) narrows
+// the merge rather than failing the sweep, and with no coordinator
+// tracer and no snapshots at all there is no artifact.
+func (h *ShardedHandle) mergedTrace() []byte {
+	var inputs []obs.TraceData
+	if h.inst.Tracer != nil {
+		inputs = append(inputs, h.inst.Tracer.TraceData())
+	}
+	for i := 0; i < len(h.shards); i++ {
+		td, err := obs.ReadTraceFile(filepath.Join(h.dir, shard.TraceName(i, len(h.shards))))
+		if err != nil {
+			if !os.IsNotExist(err) {
+				h.inst.Log.Error("worker trace unreadable", "sweep", h.baseID, "shard", i, "err", err.Error())
+			}
+			continue
+		}
+		inputs = append(inputs, td)
+	}
+	if len(inputs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := obs.MergeTraces(&buf, inputs...); err != nil {
+		h.inst.Log.Error("trace merge failed", "sweep", h.baseID, "err", err.Error())
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// writeShardTrace snapshots a slice job's trace into its sweep's shard
+// directory under shard.TraceName, atomically (temp file + rename) so a
+// concurrent merge never reads a half-written snapshot. A re-run slice
+// overwrites its previous snapshot.
+func (s *Scheduler) writeShardTrace(j *Job) error {
+	tr := j.obs.Tracer
+	if tr == nil {
+		return nil
+	}
+	dir, err := s.sweepDir(j.spec)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".trace-*")
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	dst := filepath.Join(dir, shard.TraceName(j.spec.ShardIndex, j.spec.ShardCount))
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runstate"
+)
+
+func TestEventLogMemory(t *testing.T) {
+	e := NewEventLog()
+	ch := e.Changed()
+	e.Emit("job.submitted", "j1", map[string]any{"fig": "6a"})
+	select {
+	case <-ch:
+	default:
+		t.Error("Changed channel not closed by Emit")
+	}
+	e.Emit("job.started", "j1", nil)
+	e.Emit("job.done", "j1", map[string]any{"elapsed_ms": 12})
+
+	evs := e.Events(0)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Job != "j1" || ev.TimeMS == 0 {
+			t.Errorf("event %d incomplete: %+v", i, ev)
+		}
+	}
+	if got := e.Events(2); len(got) != 1 || got[0].Type != "job.done" {
+		t.Errorf("Events(2) = %+v, want just job.done", got)
+	}
+	if e.Seq() != 3 {
+		t.Errorf("Seq() = %d, want 3", e.Seq())
+	}
+	if e.Events(3) != nil {
+		t.Errorf("Events(latest) should be empty")
+	}
+}
+
+// TestEventLogDurableReplay: a reopened journal replays the identical
+// event stream and continues the sequence — the restart-survival
+// contract the ftesd daemon relies on.
+func TestEventLogDurableReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	e1, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Emit("daemon.up", "", nil)
+	e1.Emit("job.submitted", "j1", map[string]any{"fig": "runtime", "shards": 2})
+	e1.Emit("job.started", "j1", nil)
+	before := e1.Events(0)
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	after := e2.Events(0)
+	b1, _ := json.Marshal(before)
+	b2, _ := json.Marshal(after)
+	if string(b1) != string(b2) {
+		t.Errorf("replayed stream differs:\n%s\nwant:\n%s", b2, b1)
+	}
+	e2.Emit("daemon.up", "", nil)
+	if got := e2.Seq(); got != 4 {
+		t.Errorf("sequence did not continue after replay: %d, want 4", got)
+	}
+}
+
+// TestEventLogFraming: the on-disk form is a standard runstate journal —
+// CRC-framed line JSON with a fingerprint header — parseable by
+// runstate.Scan.
+func TestEventLogFraming(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	e, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Emit("job.submitted", "j1", nil)
+	e.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, ok, rows, good := runstate.Scan(data)
+	if !ok || fp != eventLogFingerprint {
+		t.Fatalf("scan: ok=%v fp=%q", ok, fp)
+	}
+	if len(rows) != 1 || good != len(data) {
+		t.Fatalf("scan: %d rows, %d/%d bytes intact", len(rows), good, len(data))
+	}
+	var ev LogEvent
+	if err := json.Unmarshal(rows[0].Data, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != "job.submitted" || ev.Seq != 1 {
+		t.Errorf("row payload %+v", ev)
+	}
+}
+
+// TestEventLogTornTail: a torn final record is rounded away on reopen and
+// the sequence continues from the last intact event.
+func TestEventLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	e, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Emit("job.submitted", "j1", nil)
+	e.Emit("job.started", "j1", nil)
+	e.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"v":1,"key":"0000000000000003","data":{"seq":3`) // no newline: torn
+	f.Close()
+
+	e2, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := len(e2.Events(0)); got != 2 {
+		t.Errorf("replayed %d events past a torn tail, want 2", got)
+	}
+	if e2.Seq() != 2 {
+		t.Errorf("Seq() = %d after torn tail, want 2", e2.Seq())
+	}
+}
+
+func TestEventLogLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	e, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := OpenEventLog(path); !errors.Is(err, runstate.ErrLocked) {
+		t.Errorf("second open: %v, want ErrLocked", err)
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	e := NewEventLog()
+	for i := 0; i < eventRingCap+10; i++ {
+		e.Emit("tick", "", nil)
+	}
+	evs := e.Events(0)
+	if len(evs) != eventRingCap {
+		t.Fatalf("ring holds %d, want %d", len(evs), eventRingCap)
+	}
+	if evs[0].Seq != 11 {
+		t.Errorf("oldest retained seq %d, want 11", evs[0].Seq)
+	}
+}
+
+func TestEventScope(t *testing.T) {
+	e := NewEventLog()
+	sc := e.Scoped("job-42")
+	sc.Emit("shard.started", map[string]any{"index": 0})
+	if evs := e.Events(0); len(evs) != 1 || evs[0].Job != "job-42" {
+		t.Errorf("scoped emit: %+v", evs)
+	}
+	if sc.Job() != "job-42" {
+		t.Errorf("Job() = %q", sc.Job())
+	}
+
+	var nilLog *EventLog
+	nilLog.Emit("x", "", nil)
+	if nilLog.Events(0) != nil || nilLog.Seq() != 0 {
+		t.Error("nil log not inert")
+	}
+	sc = nilLog.Scoped("j")
+	sc.Emit("x", nil) // must not panic
+	if sc.Job() != "" {
+		t.Error("nil scope has a job")
+	}
+	if err := nilLog.Close(); err != nil {
+		t.Error(err)
+	}
+}

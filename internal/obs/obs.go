@@ -45,8 +45,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -76,9 +78,28 @@ func Bool(key string, v bool) Attr { return Attr{Key: key, Value: v} }
 // one with NewTracer. A nil *Tracer is the disabled tracer: Start returns
 // a nil *Span and recording costs nothing.
 type Tracer struct {
-	mu     sync.Mutex
-	t0     time.Time
-	events []Event
+	mu sync.Mutex
+	t0 time.Time
+	// wall is the wall-clock reading taken together with t0. Span offsets
+	// are measured on t0's monotonic clock; wall anchors them to real time
+	// so MergeTraces can align traces recorded by different processes.
+	wall time.Time
+	// id identifies this tracer across processes: span references
+	// ("traceID:spanID") from one process resolve against another's trace
+	// during a merge. Unique per tracer, stable for its lifetime.
+	id string
+	// proc labels this tracer's lane group in a merged trace (e.g.
+	// "shard 0/2"); empty means the merger invents a name.
+	proc string
+	// parentRef, when set, is the remote parent span reference
+	// ("traceID:spanID") that this tracer's root spans hang under once
+	// traces are merged. It is exported as args.parent_ref.
+	parentRef string
+	// spans holds every span ever started, in start order. Events are
+	// built from it at export time — never cached — so a span that ends
+	// between two exports gets its final duration in the second one, and
+	// mutating an exported snapshot cannot corrupt later exports.
+	spans []*Span
 	// lanes[l] is the stack of open spans occupying lane l, innermost
 	// last. Lanes map to Chrome tids so that viewers reconstruct the
 	// flame graph by time containment (see the package comment).
@@ -86,8 +107,55 @@ type Tracer struct {
 	nextID int64
 }
 
+// traceSeq disambiguates tracers created in the same nanosecond within
+// one process.
+var traceSeq atomic.Int64
+
 // NewTracer returns an enabled tracer whose clock starts now.
-func NewTracer() *Tracer { return &Tracer{t0: time.Now()} }
+func NewTracer() *Tracer {
+	wall := time.Now()
+	return &Tracer{
+		t0:   wall,
+		wall: wall.Round(0), // strip the monotonic reading; only the wall time matters
+		id:   fmt.Sprintf("%x-%x-%x", wall.UnixNano(), os.Getpid(), traceSeq.Add(1)),
+	}
+}
+
+// ID returns the tracer's process-unique trace identifier ("" on the
+// disabled tracer). Together with a span ID it forms a span reference
+// (see Span.Ref) that stays meaningful across process boundaries.
+func (t *Tracer) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetProcessLabel names this tracer's process lane in a merged trace
+// (e.g. "shard 0/2" or "coordinator"). No-op on the disabled tracer.
+func (t *Tracer) SetProcessLabel(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.proc = name
+	t.mu.Unlock()
+}
+
+// SetRemoteParent declares that this tracer's root spans are logically
+// children of a span in another process, identified by its reference
+// (Span.Ref from the parent process, handed over by flag or env). The
+// reference is exported as args.parent_ref on root spans; MergeTraces
+// resolves it to a concrete parent_id when the parent's trace is part of
+// the merge. An empty ref or a nil tracer is a no-op.
+func (t *Tracer) SetRemoteParent(ref string) {
+	if t == nil || ref == "" {
+		return
+	}
+	t.mu.Lock()
+	t.parentRef = ref
+	t.mu.Unlock()
+}
 
 // Span is one timed region of a trace. A nil *Span is the disabled span:
 // all methods are no-ops and Child returns nil.
@@ -98,6 +166,7 @@ type Span struct {
 	parent int64
 	lane   int
 	start  time.Duration
+	end    time.Duration // valid iff ended
 	attrs  []Attr
 	ended  bool
 }
@@ -129,6 +198,17 @@ func (s *Span) ID() int64 {
 	return s.id
 }
 
+// Ref returns the span's cross-process reference, "traceID:spanID" ("" on
+// the disabled span). A child process given this string via
+// Tracer.SetRemoteParent records it on its root spans, and MergeTraces
+// reconnects the two traces into one tree.
+func (s *Span) Ref() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s:%d", s.tr.id, s.id)
+}
+
 // SetAttr appends annotations to the span. It must be called by the
 // goroutine that owns the span, before End (attributes set after End are
 // dropped).
@@ -143,7 +223,10 @@ func (s *Span) SetAttr(attrs ...Attr) {
 	s.tr.mu.Unlock()
 }
 
-// End completes the span and records its event. Ending twice is a no-op.
+// End completes the span, fixing its end time. Ending twice is a no-op.
+// The event itself is built at export time, never here, so an export
+// taken before End and one taken after each see the duration that was
+// true when they ran.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -156,8 +239,8 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
+	s.end = now
 	t.releaseLane(s)
-	t.events = append(t.events, s.event(now))
 }
 
 func (t *Tracer) start(parent *Span, name string, attrs []Attr) *Span {
@@ -171,6 +254,7 @@ func (t *Tracer) start(parent *Span, name string, attrs []Attr) *Span {
 	}
 	s.lane = t.acquireLane(parent)
 	t.lanes[s.lane] = append(t.lanes[s.lane], s)
+	t.spans = append(t.spans, s)
 	return s
 }
 
@@ -220,14 +304,26 @@ type Event struct {
 
 func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
-func (s *Span) event(end time.Duration) Event {
-	args := make(map[string]any, len(s.attrs)+2)
+// event builds the span's export event as of `now`. Called under the
+// tracer mutex. The Args map is freshly allocated on every export:
+// callers own the snapshot they get and may rewrite it (MergeTraces
+// remaps IDs in place) without corrupting later exports.
+func (s *Span) event(now time.Duration, parentRef string) Event {
+	args := make(map[string]any, len(s.attrs)+3)
 	args["span_id"] = s.id
 	if s.parent != 0 {
 		args["parent_id"] = s.parent
+	} else if parentRef != "" {
+		args["parent_ref"] = parentRef
 	}
 	for _, a := range s.attrs {
 		args[a.Key] = a.Value
+	}
+	end := now
+	if s.ended {
+		end = s.end
+	} else {
+		args["unfinished"] = true
 	}
 	return Event{
 		Name: s.name,
@@ -240,33 +336,75 @@ func (s *Span) event(end time.Duration) Event {
 	}
 }
 
-// chromeTrace is the JSON object format of the trace_event specification;
-// both chrome://tracing and Perfetto load it.
-type chromeTrace struct {
-	TraceEvents     []Event `json:"traceEvents"`
-	DisplayTimeUnit string  `json:"displayTimeUnit"`
+// TraceMeta identifies one process's trace: who recorded it, under which
+// remote parent, and where its clock zero sits on the wall clock (µs
+// since the Unix epoch) so a merger can align traces across machines.
+type TraceMeta struct {
+	TraceID   string  `json:"trace_id,omitempty"`
+	Process   string  `json:"process,omitempty"`
+	ParentRef string  `json:"parent_ref,omitempty"`
+	WallUS    float64 `json:"wall_us,omitempty"`
 }
 
-// Events returns a snapshot of the completed spans' events in start
-// order, with still-open spans included as if they ended now (flagged
-// with an "unfinished" arg). Primarily for tests and exporters.
+// TraceData is one process's exportable trace: its meta plus the event
+// snapshot. It is what WriteChromeTrace serializes, ReadTrace parses
+// back, and MergeTraces consumes.
+type TraceData struct {
+	Meta   TraceMeta
+	Events []Event
+}
+
+// chromeTrace is the JSON object format of the trace_event specification;
+// both chrome://tracing and Perfetto load it. The ftesMeta key is this
+// package's extension carrying the cross-process merge metadata; viewers
+// ignore unknown top-level keys.
+type chromeTrace struct {
+	TraceEvents     []Event    `json:"traceEvents"`
+	DisplayTimeUnit string     `json:"displayTimeUnit"`
+	Meta            *TraceMeta `json:"ftesMeta,omitempty"`
+}
+
+// Events returns a snapshot of the spans' events in start order, with
+// still-open spans included as if they ended now (flagged with an
+// "unfinished" arg). Durations are recomputed on every call — a span
+// that ended since the last snapshot reports its true final duration —
+// and the returned events (including their Args maps) are the caller's
+// to mutate.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	now := time.Since(t.t0)
 	t.mu.Lock()
-	evs := append([]Event(nil), t.events...)
-	for _, st := range t.lanes {
-		for _, s := range st {
-			ev := s.event(now)
-			ev.Args["unfinished"] = true
-			evs = append(evs, ev)
+	evs := make([]Event, 0, len(t.spans))
+	for _, s := range t.spans {
+		ref := ""
+		if s.parent == 0 {
+			ref = t.parentRef
 		}
+		evs = append(evs, s.event(now, ref))
 	}
 	t.mu.Unlock()
 	sort.SliceStable(evs, func(a, b int) bool { return evs[a].TS < evs[b].TS })
 	return evs
+}
+
+// TraceData snapshots the full trace — meta plus events — in one call.
+// A nil tracer returns an empty TraceData with no meta.
+func (t *Tracer) TraceData() TraceData {
+	if t == nil {
+		return TraceData{}
+	}
+	evs := t.Events()
+	t.mu.Lock()
+	meta := TraceMeta{
+		TraceID:   t.id,
+		Process:   t.proc,
+		ParentRef: t.parentRef,
+		WallUS:    float64(t.wall.UnixMicro()),
+	}
+	t.mu.Unlock()
+	return TraceData{Meta: meta, Events: evs}
 }
 
 // SpanCount returns how many spans have been recorded (completed or
@@ -277,19 +415,24 @@ func (t *Tracer) SpanCount() int {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := len(t.events)
-	for _, st := range t.lanes {
-		n += len(st)
-	}
-	return n
+	return len(t.spans)
 }
 
 // WriteChromeTrace writes the trace as Chrome trace_event JSON. A nil
 // tracer writes an empty (still valid) trace. Open spans are exported as
 // if they ended now, flagged unfinished, so a trace written mid-run loses
-// nothing.
+// nothing; durations of spans that have ended are always their final
+// ones, whatever earlier snapshots reported.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	doc := chromeTrace{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	return writeTrace(w, t.TraceData())
+}
+
+func writeTrace(w io.Writer, td TraceData) error {
+	doc := chromeTrace{TraceEvents: td.Events, DisplayTimeUnit: "ms"}
+	if td.Meta != (TraceMeta{}) {
+		m := td.Meta
+		doc.Meta = &m
+	}
 	if doc.TraceEvents == nil {
 		doc.TraceEvents = []Event{}
 	}

@@ -52,6 +52,9 @@ type Phase struct {
 	pr      *Progress
 	name    string
 	started time.Time
+	// lastAdd is when the counter last advanced; started→lastAdd is the
+	// phase's active window, the per-phase duration BENCH_*.json records.
+	lastAdd time.Time
 	current int64
 	total   int64
 	best    float64
@@ -88,7 +91,8 @@ func (ph *Phase) Add(n int64) {
 	}
 	ph.pr.mu.Lock()
 	ph.current += n
-	s := progressSample{t: ph.pr.now(), n: ph.current}
+	ph.lastAdd = ph.pr.now()
+	s := progressSample{t: ph.lastAdd, n: ph.current}
 	if len(ph.samples) < rateWindow {
 		ph.samples = append(ph.samples, s)
 	} else {
@@ -159,7 +163,12 @@ type PhaseStatus struct {
 	// or the rate is unknown, or the phase is done).
 	ETA     time.Duration `json:"eta_ns,omitempty"`
 	Elapsed time.Duration `json:"elapsed_ns"`
-	Done    bool          `json:"done,omitempty"`
+	// Active is the phase's active window so far — creation to the most
+	// recent counter advance (0 until the first Add). Unlike Elapsed it
+	// stops growing once the phase's work stops, which is what makes
+	// per-phase wall-time attribution in BENCH_*.json meaningful.
+	Active time.Duration `json:"active_ns,omitempty"`
+	Done   bool          `json:"done,omitempty"`
 }
 
 // ProgressStatus is a snapshot of every phase, in creation order.
@@ -186,6 +195,9 @@ func (p *Progress) Status() ProgressStatus {
 			HasBest: ph.hasBest,
 			Elapsed: now.Sub(ph.started),
 			Done:    ph.done,
+		}
+		if !ph.lastAdd.IsZero() {
+			st.Active = ph.lastAdd.Sub(ph.started)
 		}
 		if n := len(ph.samples); n >= 2 {
 			first := ph.samples[0]

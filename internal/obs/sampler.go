@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sampler turns a Registry into a time series: at a fixed interval it
+// snapshots every counter and gauge into a bounded ring buffer, so
+// obshttp's /timeseries endpoint can serve rates-over-time — evaluations
+// per second, queue depth over a sweep — without an external Prometheus
+// scraping /metrics. Histograms are deliberately not sampled: their
+// summaries are cheap to read once but heavy to store per tick, and the
+// counters already carry the rate signal.
+//
+// A nil *Sampler is disabled: Series returns an empty TimeSeries and
+// Start/Stop are no-ops.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex
+	buf  []TimeSeriesSample // ring, oldest first once trimmed
+	cap  int
+	stop chan struct{}
+	done chan struct{}
+}
+
+// TimeSeriesSample is one sampling tick: the wall-clock time it was taken
+// and the counter/gauge values at that instant.
+type TimeSeriesSample struct {
+	TimeMS   int64              `json:"t_ms"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// TimeSeries is the JSON shape /timeseries serves.
+type TimeSeries struct {
+	IntervalMS float64            `json:"interval_ms"`
+	Samples    []TimeSeriesSample `json:"samples"`
+}
+
+// NewSampler returns a sampler over reg taking a snapshot every interval,
+// keeping the most recent capacity samples (defaults: 1s, 720 — twelve
+// minutes of 1 Hz history). It does not start sampling; call Start.
+func NewSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if capacity <= 0 {
+		capacity = 720
+	}
+	return &Sampler{reg: reg, interval: interval, cap: capacity}
+}
+
+// Start begins periodic sampling in a background goroutine, taking one
+// sample immediately so even a short-lived process has a first data
+// point. Starting an already started (or nil) sampler is a no-op.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	s.Sample()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Sample()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts periodic sampling and waits for the sampling goroutine to
+// exit. The collected series stays readable. No-op when not started.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Sample takes one snapshot now. Exposed so tests (and callers that want
+// a final tick at shutdown) can sample deterministically.
+func (s *Sampler) Sample() {
+	if s == nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	sample := TimeSeriesSample{
+		TimeMS:   time.Now().UnixMilli(),
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	}
+	s.mu.Lock()
+	s.buf = append(s.buf, sample)
+	if len(s.buf) > s.cap {
+		s.buf = s.buf[len(s.buf)-s.cap:]
+	}
+	s.mu.Unlock()
+}
+
+// Series returns the collected samples, oldest first. last > 0 limits the
+// result to the most recent last samples. A nil sampler returns an empty
+// series with Samples non-nil, so the JSON shape is stable.
+func (s *Sampler) Series(last int) TimeSeries {
+	if s == nil {
+		return TimeSeries{Samples: []TimeSeriesSample{}}
+	}
+	s.mu.Lock()
+	buf := s.buf
+	if last > 0 && len(buf) > last {
+		buf = buf[len(buf)-last:]
+	}
+	out := TimeSeries{
+		IntervalMS: float64(s.interval) / float64(time.Millisecond),
+		Samples:    append([]TimeSeriesSample{}, buf...),
+	}
+	s.mu.Unlock()
+	return out
+}

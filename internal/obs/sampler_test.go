@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerSeries(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("evals")
+	g := reg.Gauge("queue")
+	s := NewSampler(reg, 10*time.Millisecond, 5)
+
+	c.Add(1)
+	g.Set(2)
+	s.Sample()
+	c.Add(4)
+	s.Sample()
+
+	ts := s.Series(0)
+	if ts.IntervalMS != 10 {
+		t.Errorf("interval %v ms, want 10", ts.IntervalMS)
+	}
+	if len(ts.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(ts.Samples))
+	}
+	if ts.Samples[0].Counters["evals"] != 1 || ts.Samples[1].Counters["evals"] != 5 {
+		t.Errorf("counter series %v", ts.Samples)
+	}
+	if ts.Samples[0].Gauges["queue"] != 2 {
+		t.Errorf("gauge sample %v", ts.Samples[0].Gauges)
+	}
+	if ts.Samples[0].TimeMS == 0 {
+		t.Error("sample lacks timestamp")
+	}
+	if got := s.Series(1); len(got.Samples) != 1 || got.Samples[0].Counters["evals"] != 5 {
+		t.Errorf("Series(last=1) = %v", got.Samples)
+	}
+}
+
+func TestSamplerCapacity(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n")
+	s := NewSampler(reg, time.Second, 3)
+	for i := 0; i < 7; i++ {
+		c.Add(1)
+		s.Sample()
+	}
+	ts := s.Series(0)
+	if len(ts.Samples) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(ts.Samples))
+	}
+	if ts.Samples[0].Counters["n"] != 5 || ts.Samples[2].Counters["n"] != 7 {
+		t.Errorf("oldest retained samples wrong: %v", ts.Samples)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, 5*time.Millisecond, 100)
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.Series(0).Samples) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Stop()
+	n := len(s.Series(0).Samples)
+	if n < 2 {
+		t.Fatalf("periodic sampling produced %d samples, want ≥ 2", n)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if got := len(s.Series(0).Samples); got != n {
+		t.Errorf("sampling continued after Stop: %d → %d", n, got)
+	}
+	s.Stop() // idempotent
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	var s *Sampler
+	s.Start()
+	s.Sample()
+	s.Stop()
+	ts := s.Series(0)
+	if ts.Samples == nil || len(ts.Samples) != 0 {
+		t.Errorf("nil sampler series = %+v", ts)
+	}
+}

@@ -59,6 +59,14 @@ func JournalName(index, shards int) string {
 	return fmt.Sprintf("shard-%04d-of-%04d.jsonl", index, shards)
 }
 
+// TraceName returns the file name of shard index's Chrome trace snapshot
+// in the shard directory, e.g. "trace-0002-of-0007.json". Workers write
+// it next to their journal; the merge step stitches all of them (plus
+// its own trace) into one cross-process timeline with obs.MergeTraces.
+func TraceName(index, shards int) string {
+	return fmt.Sprintf("trace-%04d-of-%04d.json", index, shards)
+}
+
 // JournalFingerprint returns the runstate fingerprint a per-shard journal
 // is bound to: the workload fingerprint extended with the shard
 // coordinates, so a journal written for slice 2/7 can never be resumed —
