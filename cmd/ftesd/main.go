@@ -15,6 +15,8 @@
 //	GET    /jobs/{id}                one job's status
 //	GET    /jobs/{id}/artifacts/{name}   a finished job's artifact bytes
 //	DELETE /jobs/{id}                cooperatively cancel a job
+//	POST   /jobs/{id}/retry          un-quarantine a job (re-opens its
+//	                                 retry budget; see -retry)
 //	GET    /jobs/{id}/metrics        per-job introspection (obshttp):
 //	       /jobs/{id}/progress       Prometheus metrics, progress JSON,
 //	       /jobs/{id}/trace          Chrome trace snapshot
@@ -45,6 +47,16 @@
 // artifacts. Tenancy is fair-share: tenants take round-robin turns, so
 // one tenant's backlog cannot starve another's; within a tenant, higher
 // priority runs first.
+//
+// With -retry N the daemon self-heals: a job failing with a retryable
+// error (ENOSPC, torn writes, a journal still held by a dying worker) is
+// re-enqueued with exponential backoff up to N attempts, then quarantined
+// — held, with its attempt history, until POST /jobs/{id}/retry re-opens
+// the budget. Attempt counts are journaled, so restarts never reset them.
+//
+// While draining (after the first SIGINT/SIGTERM), submissions are
+// refused with 503 and a Retry-After header naming the drain bound, so
+// clients know when to try the restarted daemon.
 package main
 
 import (
@@ -61,7 +73,9 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -69,6 +83,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/retry"
 	"repro/internal/runctl"
 )
 
@@ -90,6 +105,7 @@ func run(args []string, stderr io.Writer) error {
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	evalCacheDir := fs.String("eval-cache", "", "warm-start directory for the disk-backed evaluation cache shared by all jobs: repeated and resubmitted workloads skip recomputation (results are identical either way)")
 	sample := fs.Duration("sample", time.Second, "interval of the /timeseries metrics sampler")
+	retryN := fs.Int("retry", 0, "self-healing attempt budget: jobs failing with retryable errors re-enqueue with backoff up to N attempts, then quarantine until POST /jobs/{id}/retry (0 or 1 = every failure is terminal)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +127,11 @@ func run(args []string, stderr io.Writer) error {
 	// crashes; without -state it lives in memory like everything else.
 	var events *obs.EventLog
 	if *state != "" {
+		// The event journal opens before the scheduler (which would
+		// otherwise create the state dir), so create it here.
+		if err := os.MkdirAll(*state, 0o755); err != nil {
+			return err
+		}
 		if events, err = obs.OpenEventLog(filepath.Join(*state, "events.jsonl")); err != nil {
 			return err
 		}
@@ -118,7 +139,11 @@ func run(args []string, stderr io.Writer) error {
 		events = obs.NewEventLog()
 	}
 	defer events.Close()
-	sched, err := jobs.New(jobs.Options{Workers: *workers, Dir: *state, Metrics: reg, Log: lg, EvalCache: ec, Events: events})
+	var pol *retry.Policy
+	if *retryN > 1 {
+		pol = &retry.Policy{MaxAttempts: *retryN}
+	}
+	sched, err := jobs.New(jobs.Options{Workers: *workers, Dir: *state, Metrics: reg, Log: lg, EvalCache: ec, Events: events, Retry: pol})
 	if err != nil {
 		return err
 	}
@@ -130,6 +155,7 @@ func run(args []string, stderr io.Writer) error {
 	defer sampler.Stop()
 
 	d := newDaemon(sched, reg, lg, *jobTimeout, events, sampler)
+	d.drainBound = *drain
 	srv, err := obshttp.ServeHandler(*addr, d, obshttp.Options{DrainTimeout: *drain})
 	if err != nil {
 		return err
@@ -144,6 +170,9 @@ func run(args []string, stderr io.Writer) error {
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+	// Refuse new submissions (503 + Retry-After) before draining starts,
+	// so nothing slips into the queue while running jobs wind down.
+	d.draining.Store(true)
 	fmt.Fprintf(stderr, "ftesd: shutdown — draining for up to %v (signal again to exit now)\n", *drain)
 	go func() {
 		<-ch
@@ -174,6 +203,12 @@ type daemon struct {
 	sampler    *obs.Sampler
 	mux        *http.ServeMux
 
+	// draining flips on the first shutdown signal: submissions are then
+	// refused with 503 + Retry-After (drainBound, rounded up to seconds)
+	// instead of being accepted by a scheduler about to close.
+	draining   atomic.Bool
+	drainBound time.Duration
+
 	mu     sync.Mutex
 	sweeps map[string]*jobs.ShardedHandle
 }
@@ -186,6 +221,7 @@ func newDaemon(sched *jobs.Scheduler, reg *obs.Registry, lg *obs.Logger, jobTime
 	d.mux.HandleFunc("GET /jobs", d.list)
 	d.mux.HandleFunc("GET /jobs/{id}", d.status)
 	d.mux.HandleFunc("DELETE /jobs/{id}", d.cancel)
+	d.mux.HandleFunc("POST /jobs/{id}/retry", d.retryJob)
 	d.mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", d.artifact)
 	d.mux.HandleFunc("GET /jobs/{id}/{introspect...}", d.introspect)
 	d.mux.HandleFunc("GET /sweeps", d.listSweeps)
@@ -248,6 +284,10 @@ type submitResponse struct {
 }
 
 func (d *daemon) submit(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() {
+		d.unavailable(w, errors.New("draining: daemon is shutting down, resubmit after restart"))
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
@@ -293,11 +333,50 @@ func (d *daemon) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	h, err := d.sched.Submit(spec, so)
 	if err != nil {
+		if errors.Is(err, jobs.ErrClosed) {
+			d.unavailable(w, err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	st := h.Status()
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: h.ID(), State: st.State, Dedup: st.Submits > 1})
+}
+
+// unavailable refuses a request with 503 and a Retry-After header: the
+// daemon is draining (or its scheduler already closed), and the drain
+// bound is an honest estimate of when a restarted daemon will listen.
+func (d *daemon) unavailable(w http.ResponseWriter, err error) {
+	secs := int((d.drainBound + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// retryJob un-quarantines one job: its spec re-enqueues with a fresh
+// retry-budget window (the attempt history stays monotonic).
+func (d *daemon) retryJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h, err := d.sched.Retry(id)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrClosed):
+			d.unavailable(w, err)
+		default:
+			code := http.StatusConflict
+			if _, ok := d.sched.Get(id); !ok {
+				code = http.StatusNotFound
+			}
+			httpError(w, code, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, h.Status())
 }
 
 // submitSharded fans a figure sweep out over N shard jobs and tracks the
@@ -331,6 +410,10 @@ func (d *daemon) submitSharded(w http.ResponseWriter, spec jobs.Spec, shards int
 	d.mu.Unlock()
 	h, err := d.sched.SubmitSharded(spec, shards, so)
 	if err != nil {
+		if errors.Is(err, jobs.ErrClosed) {
+			d.unavailable(w, err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}

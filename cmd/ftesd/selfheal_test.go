@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/retry"
+)
+
+// TestDrainingRefusesSubmissions: once the drain flag flips, POST /jobs
+// answers 503 with a Retry-After derived from the drain bound, while
+// reads (status, health) keep working so watchers can follow the drain.
+func TestDrainingRefusesSubmissions(t *testing.T) {
+	srv, sched := newTestServer(t, jobs.Options{Workers: 1})
+	_, sr := postJSON(t, srv.URL+"/jobs", tinyFigBody)
+	pollDone(t, srv.URL, sr.ID)
+
+	// Reach into the daemon exactly like the signal handler does.
+	d, ok := srv.Config.Handler.(*daemon)
+	if !ok {
+		t.Fatalf("test server handler is %T, want *daemon", srv.Config.Handler)
+	}
+	d.drainBound = 25 * time.Second
+	d.draining.Store(true)
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(tinyFigBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining = %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra != 25 {
+		t.Errorf("Retry-After = %q, want 25", resp.Header.Get("Retry-After"))
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Errorf("503 body carries no error: %v %q", err, body.Error)
+	}
+
+	// Reads stay available during the drain.
+	if code, _ := get(t, srv.URL+"/jobs/"+sr.ID); code != http.StatusOK {
+		t.Errorf("GET status while draining = %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("GET /healthz while draining = %d", code)
+	}
+	_ = sched
+}
+
+// pollState polls until the job reaches the given state.
+func pollState(t *testing.T, base, id, want string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		code, data := get(t, base+"/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d: %s", id, code, data)
+		}
+		var st jobs.Status
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s, want %s", id, st.State, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestQuarantineAndRetryEndpoint: a poisoned design document quarantines
+// (permanent error, no budget burned), the status reports the attempt
+// history, job.quarantined lands in the event log, POST /jobs/{id}/retry
+// un-quarantines it, and retry of anything else is 404/409.
+func TestQuarantineAndRetryEndpoint(t *testing.T) {
+	events := obs.NewEventLog()
+	srv, _ := newTestServer(t, jobs.Options{
+		Workers: 1,
+		Events:  events,
+		Retry:   &retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+
+	code, sr := postJSON(t, srv.URL+"/jobs", `{"kind":"design","spec":"this is not a specio document"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST poisoned design = %d", code)
+	}
+	st := pollState(t, srv.URL, sr.ID, jobs.StateQuarantined)
+	if st.Attempts != 1 {
+		t.Errorf("poisoned job attempts = %d, want 1 (permanent errors burn no budget)", st.Attempts)
+	}
+	if st.Error == "" {
+		t.Error("quarantined status carries no error")
+	}
+	quarantined := false
+	for _, ev := range events.Events(0) {
+		if ev.Type == "job.quarantined" && ev.Job == sr.ID {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Error("no job.quarantined event in the log")
+	}
+
+	// Retry of a quarantined job is accepted and runs it again (to the
+	// same quarantine — the document is still poison — with history kept).
+	resp, err := http.Post(srv.URL+"/jobs/"+sr.ID+"/retry", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST retry = %d, want 200", resp.StatusCode)
+	}
+	st = pollState(t, srv.URL, sr.ID, jobs.StateQuarantined)
+	if st.Attempts != 2 {
+		t.Errorf("attempts after retry = %d, want 2 (monotonic)", st.Attempts)
+	}
+
+	// Unknown id → 404; a job not in quarantine → 409.
+	resp, err = http.Post(srv.URL+"/jobs/nope/retry", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("retry unknown job = %d, want 404", resp.StatusCode)
+	}
+	_, ok := postJSON(t, srv.URL+"/jobs", tinyFigBody)
+	pollDone(t, srv.URL, ok.ID)
+	resp, err = http.Post(srv.URL+"/jobs/"+ok.ID+"/retry", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("retry of a done job = %d, want 409", resp.StatusCode)
+	}
+}

@@ -65,10 +65,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"strconv"
 	"syscall"
 	"time"
 
 	"repro/internal/evalcache"
+	"repro/internal/fsatomic"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
@@ -150,6 +152,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	shardIdx := fs.Int("shard", -1, "with -shards: this worker's shard index in [0, shards)")
 	shardDir := fs.String("shard-dir", "", "with -shards: the sweep's shard directory (manifest + per-shard journals), shared by all workers")
 	mergeDir := fs.String("merge", "", "merge the per-shard journals in this directory into the final table; computes nothing, and refuses (naming the incomplete shards) unless every shard finished")
+	partial := fs.Bool("partial", false, "with -merge: degrade instead of refusing when shards are missing or damaged — absent rows render as '!' cells and incomplete.json (written next to the journals) names every missing row and its owning shard")
+	heal := fs.Bool("heal", false, "self-healing coordinator: spawn one worker subprocess per shard (-shards/-shard-dir), restart dead or wedged workers with backoff until every slice's journal is complete, then merge in-process — the final table is byte-identical to a clean run")
+	healAttempts := fs.Int("heal-attempts", 25, "with -heal: worker (re)starts allowed per shard before the sweep gives up")
+	healStale := fs.Duration("heal-stale", 10*time.Second, "with -heal: how long a worker's lease heartbeat may go quiet before the supervisor declares it wedged and replaces it")
 	evalCacheDir := fs.String("eval-cache", "", "warm-start directory for the disk-backed evaluation cache: memoized schedules/solutions are loaded from and flushed to it, so repeated runs skip recomputation (results are identical either way)")
 	traceParent := fs.String("trace-parent", os.Getenv("FTES_TRACE_PARENT"), "cross-process parent span reference (traceID:spanID) this run's root spans attach to; a sweep coordinator passes it to its shard workers so the merged trace is one tree (default: $FTES_TRACE_PARENT)")
 	sampleInterval := fs.Duration("sample-interval", time.Second, "with -serve: interval of the /timeseries metrics sampler")
@@ -305,6 +311,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			return fmt.Errorf("-merge conflicts with -journal/-resume (the shard directory is the journal)")
 		}
 	}
+	if *partial && *mergeDir == "" {
+		return fmt.Errorf("-partial requires -merge (it relaxes the merge, nothing else)")
+	}
 	if sharded || *mergeDir != "" {
 		if len(selected) != 1 {
 			return fmt.Errorf("sharded sweeps take exactly one -fig, not %q", *fig)
@@ -312,6 +321,38 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if !jobs.ShardableFigure(selected[0]) {
 			return fmt.Errorf("figure %s is not shardable (its rows are not fully journaled; shardable: 6a, 6b, 6c, 6d, runtime)", selected[0])
 		}
+	}
+	if *heal {
+		if *mergeDir != "" {
+			return fmt.Errorf("-heal runs the sweep; it conflicts with -merge")
+		}
+		if *shardIdx != -1 {
+			return fmt.Errorf("-heal is the supervisor: it owns every slice and conflicts with -shard")
+		}
+		if *shards < 2 {
+			return fmt.Errorf("-heal requires -shards ≥ 2, got %d", *shards)
+		}
+		if *shardDir == "" {
+			return fmt.Errorf("-heal requires -shard-dir")
+		}
+		if *journalPath != "" {
+			return fmt.Errorf("-journal conflicts with -heal (the shard journals live in the shard directory)")
+		}
+		if *healAttempts < 1 {
+			return fmt.Errorf("-heal-attempts %d (want ≥ 1)", *healAttempts)
+		}
+		spec := base
+		spec.Fig = selected[0]
+		inst := &jobs.Instruments{Tracer: tracer, Metrics: reg, Progress: prog, Log: lg}
+		return runHeal(ctx, w, healConfig{
+			spec:       spec,
+			shards:     *shards,
+			dir:        *shardDir,
+			attempts:   *healAttempts,
+			staleAfter: *healStale,
+			inst:       inst,
+			trace:      *trace,
+		})
 	}
 	if sharded {
 		if *shards < 2 {
@@ -347,6 +388,20 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		defer j.Close()
 		rowJournal = j
 		base.ShardIndex, base.ShardCount = *shardIdx, *shards
+		// Liveness lease: heartbeats while this worker computes, released
+		// on clean exit. A -heal supervisor (or a jobs watchdog sharing the
+		// directory) reads its mtime to tell dead from slow. Advisory — the
+		// journal flock above is the actual mutual exclusion — so a failed
+		// install is reported, not fatal.
+		workerAttempt := 1
+		if v, aerr := strconv.Atoi(os.Getenv("FTES_WORKER_ATTEMPT")); aerr == nil && v > 0 {
+			workerAttempt = v
+		}
+		if lease, lerr := shard.AcquireLease(*shardDir, *shardIdx, *shards, workerAttempt, 0); lerr != nil {
+			fmt.Fprintln(stderr, "paperbench: worker lease:", lerr)
+		} else {
+			defer lease.Release()
+		}
 		// A worker always traces, whether or not -trace asked for a local
 		// file: its snapshot lands next to its journal so a later merge can
 		// stitch the whole fleet into one timeline. The snapshot is written
@@ -413,7 +468,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if *mergeDir != "" {
 			// Merge mode: reassemble the table from the finished per-shard
 			// journals — no scheduler, no computation, byte-identical output.
-			art, err = jobs.MergeShards(ctx, spec, *mergeDir, *inst)
+			// -partial degrades (missing rows as '!') instead of refusing,
+			// and leaves incomplete.json next to the journals.
+			var mopts []jobs.MergeOpt
+			if *partial {
+				mopts = append(mopts, jobs.Partial)
+			}
+			art, err = jobs.MergeShards(ctx, spec, *mergeDir, *inst, mopts...)
+			if rep, ok := art[jobs.ArtifactIncomplete]; ok && err == nil {
+				path := filepath.Join(*mergeDir, jobs.ArtifactIncomplete)
+				if werr := fsatomic.WriteFile(path, rep); werr != nil {
+					fmt.Fprintln(stderr, "paperbench: incomplete report:", werr)
+				} else {
+					fmt.Fprintf(stderr, "paperbench: partial merge — gap report written to %s\n", path)
+				}
+			}
 		} else {
 			var h *jobs.Handle
 			h, err = sched.Submit(spec, jobs.SubmitOptions{Context: ctx, Obs: inst, RowJournal: rowJournal})
@@ -669,25 +738,8 @@ func phaseActives(p *obs.Progress) map[string]time.Duration {
 // sweep's shard directory under the slice's canonical trace name, where
 // the merge step (and jobs.SubmitSharded coordinators) will find it.
 func writeWorkerTrace(tr *obs.Tracer, dir string, index, shards int) error {
-	tmp, err := os.CreateTemp(dir, ".trace-*")
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteChromeTrace(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
 	dst := filepath.Join(dir, shard.TraceName(index, shards))
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return fsatomic.Install(dst, tr.WriteChromeTrace)
 }
 
 // writeMergedTrace stitches the merge process's own trace with every

@@ -1,0 +1,118 @@
+package ftes
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// drainThenAccept answers 503 + Retry-After for the first n requests,
+// then accepts.
+func drainThenAccept(n int64) (*atomic.Int64, http.HandlerFunc) {
+	var calls atomic.Int64
+	return &calls, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j1","state":"queued"}`))
+	}
+}
+
+// TestClientRetriesDraining: the client waits out 503 + Retry-After and
+// succeeds once the daemon accepts again.
+func TestClientRetriesDraining(t *testing.T) {
+	calls, h := drainThenAccept(2)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL + "/", MaxAttempts: 3}
+	start := time.Now()
+	res, err := c.Submit(context.Background(), map[string]any{"kind": "figure", "fig": "6a"})
+	if err != nil {
+		t.Fatalf("Submit through drain: %v", err)
+	}
+	if res.ID != "j1" || res.State != "queued" {
+		t.Errorf("result = %+v", res)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Errorf("client slept %v, want >= 2s (two Retry-After: 1 waits)", elapsed)
+	}
+}
+
+// TestClientGivesUp: a daemon that never stops draining exhausts
+// MaxAttempts and the error names the last refusal.
+func TestClientGivesUp(t *testing.T) {
+	calls, h := drainThenAccept(1 << 30)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, MaxAttempts: 2}
+	_, err := c.Submit(context.Background(), map[string]any{"kind": "figure"})
+	if err == nil {
+		t.Fatal("Submit against a permanently draining daemon succeeded")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want MaxAttempts=2", got)
+	}
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Errorf("error %v does not carry the 503", err)
+	}
+}
+
+// TestClientNoRetryOnClientError: non-503 errors are final — the
+// daemon's answer, not a transient condition.
+func TestClientNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"unknown figure"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, MaxAttempts: 5}
+	_, err := c.Submit(context.Background(), map[string]any{"kind": "figure", "fig": "6z"})
+	if err == nil {
+		t.Fatal("bad request reported success")
+	}
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest || ae.Msg != "unknown figure" {
+		t.Errorf("error = %v, want the daemon's 400 verbatim", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (no retry on 4xx)", got)
+	}
+}
+
+// TestClientContextBoundsSleep: a canceled context interrupts the
+// Retry-After sleep instead of serving it out.
+func TestClientContextBoundsSleep(t *testing.T) {
+	_, h := drainThenAccept(1 << 30)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	c := &Client{BaseURL: srv.URL, MaxAttempts: 10}
+	start := time.Now()
+	_, err := c.Job(ctx, "j1")
+	if err == nil {
+		t.Fatal("Job with expiring context succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("client held the sleep %v past its context", elapsed)
+	}
+}
+

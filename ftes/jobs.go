@@ -91,7 +91,23 @@ func SubmitShardedJob(s *JobScheduler, spec JobSpec, shards int, o JobSubmitOpti
 
 // MergeShardedJob reassembles a finished sharded sweep from its shard
 // directory without computing any rows; an incomplete or damaged shard is
-// a loud error naming the workers to rerun.
-func MergeShardedJob(ctx context.Context, spec JobSpec, dir string, inst JobInstruments) (JobArtifacts, error) {
-	return jobs.MergeShards(ctx, spec, dir, inst)
+// a loud error naming the workers to rerun. Passing JobMergePartial
+// instead degrades: missing rows render as "!" cells and the
+// JobArtifactIncomplete report names every gap and its owning shard.
+func MergeShardedJob(ctx context.Context, spec JobSpec, dir string, inst JobInstruments, opts ...JobMergeOpt) (JobArtifacts, error) {
+	return jobs.MergeShards(ctx, spec, dir, inst, opts...)
 }
+
+// JobMergeOpt tunes MergeShardedJob.
+type JobMergeOpt = jobs.MergeOpt
+
+// JobMergePartial switches MergeShardedJob from strict to degraded mode.
+const JobMergePartial = jobs.Partial
+
+// JobArtifactIncomplete is a degraded merge's machine-readable gap
+// report (which rows are missing and which shard owns each).
+const JobArtifactIncomplete = jobs.ArtifactIncomplete
+
+// RetryJob un-quarantines a job on s: the same spec re-enqueues with a
+// fresh retry-budget window while its attempt history stays monotonic.
+func RetryJob(s *JobScheduler, id string) (*JobHandle, error) { return s.Retry(id) }

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/internal/fsatomic"
 	"repro/internal/redundancy"
 )
 
@@ -148,21 +149,12 @@ func (c *Cache) Save(fp string, e *Entry) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(c.dir, fp+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("evalcache: save %s: %w", fp, err)
-	}
-	_, werr := tmp.Write(buf)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr == nil {
-			werr = cerr
-		}
-		return fmt.Errorf("evalcache: save %s: %w", fp, werr)
-	}
-	if err := os.Rename(tmp.Name(), c.path(fp)); err != nil {
-		os.Remove(tmp.Name())
+	// Shared atomic-install idiom: temp + fsync + rename + parent-dir
+	// fsync, with the evalcache.save failpoint for the fault tests. A
+	// torn install is not a correctness risk — decode's digest check
+	// turns it into a cold start — but a short-lived cache defeats the
+	// warm-up economics, so the install is made durable like a journal.
+	if err := fsatomic.WriteFileFP(c.path(fp), buf, "evalcache.save"); err != nil {
 		return fmt.Errorf("evalcache: save %s: %w", fp, err)
 	}
 	c.saves.Add(1)

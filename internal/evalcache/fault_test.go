@@ -1,0 +1,70 @@
+package evalcache
+
+import (
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultject"
+)
+
+const faultFP = "0123456789abcdef0123456789abcdef"
+
+// TestSaveFaultTorn: a torn rename publishes a truncated cache entry; the
+// digest gate makes the next Load a clean miss — a cold start, never a
+// panic or a corrupt warm start — and a later Save repairs the entry.
+func TestSaveFaultTorn(t *testing.T) {
+	t.Cleanup(faultject.Reset)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultject.Arm("evalcache.save=torn:after=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(faultFP, testEntry()); err != nil {
+		t.Fatalf("torn save should appear to succeed: %v", err)
+	}
+	faultject.Reset()
+	if _, ok := c.Load(faultFP); ok {
+		t.Fatal("truncated entry loaded as a warm hit")
+	}
+	// The cache recovers: a clean save over the damaged entry serves hits.
+	if err := c.Save(faultFP, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(faultFP); !ok {
+		t.Fatal("repaired entry missed")
+	}
+}
+
+// TestSaveFaultENOSPCAndShort: write failures surface as their retryable
+// error classes and leave no readable (hence no corrupt) entry behind.
+func TestSaveFaultENOSPCAndShort(t *testing.T) {
+	t.Cleanup(faultject.Reset)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultject.Arm("evalcache.save=enospc:after=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(faultFP, testEntry()); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected ENOSPC: %v", err)
+	}
+	if _, ok := c.Load(faultFP); ok {
+		t.Fatal("entry exists after failed save")
+	}
+
+	faultject.Reset()
+	if err := faultject.Arm("evalcache.save=short:after=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(faultFP, testEntry()); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("injected short write: %v", err)
+	}
+	if _, ok := c.Load(faultFP); ok {
+		t.Fatal("entry exists after short save")
+	}
+}

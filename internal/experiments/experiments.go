@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -121,6 +122,12 @@ type Config struct {
 	// compute — that is what makes the merged table provably the union of
 	// what the workers ran.
 	RequireJournaled bool
+	// Missing, when non-nil alongside RequireJournaled, switches the
+	// strict merge to degraded mode: a row that does not restore is
+	// collected here and rendered as "!" cells instead of failing the
+	// merge. The caller turns the collected keys into an incomplete.json
+	// manifest naming each hole and its owning shard.
+	Missing *MissingRows
 	// RowDone, when non-nil, is called with the journal key of each row
 	// after it was freshly computed (journal-restored rows do not fire
 	// it). Tests use it to cancel at exact row boundaries.
@@ -129,6 +136,35 @@ type Config struct {
 	// design run loads from and flushes to (core.Options.EvalCache):
 	// reruns and CI repeats warm-start instead of recomputing schedules.
 	EvalCache *evalcache.Cache
+}
+
+// MissingRows collects, during a degraded merge, the journal key of
+// every row that failed to restore. Safe for concurrent use.
+type MissingRows struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (m *MissingRows) add(key string) {
+	m.mu.Lock()
+	m.keys = append(m.keys, key)
+	m.mu.Unlock()
+}
+
+// Keys returns the missing journal keys in the order the render
+// encountered them (deterministic: figure rendering is sequential).
+func (m *MissingRows) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.keys))
+	copy(out, m.keys)
+	return out
+}
+
+// missingRates is the degraded-merge marker for an unrestorable point:
+// NaN per strategy, which cell renders as "!".
+func missingRates() Rates {
+	return Rates{core.MIN: math.NaN(), core.MAX: math.NaN(), core.OPT: math.NaN()}
 }
 
 // rowDone journals a freshly computed row and fires the RowDone hook.
@@ -250,6 +286,13 @@ func AcceptanceStats(ctx context.Context, cfg Config, pt Point) (Rates, map[core
 		return rates, map[core.Strategy]evalengine.Stats{}, nil
 	}
 	if cfg.RequireJournaled {
+		if cfg.Missing != nil {
+			// Degraded merge: record the hole and render it as "!" cells
+			// instead of refusing the whole table.
+			cfg.Missing.add(key)
+			cfg.Metrics.Counter("experiments.rows_missing").Add(1)
+			return missingRates(), map[core.Strategy]evalengine.Stats{}, nil
+		}
 		return nil, nil, cfg.missingRow(key)
 	}
 	if !cfg.owns(key) {
@@ -442,11 +485,15 @@ var (
 	ArCs = []float64{15, 20, 25}
 )
 
-// cell formats one strategy's acceptance rate, or "-" when the point was
-// not reached before cancellation or belongs to another shard.
+// cell formats one strategy's acceptance rate, "-" when the point was
+// not reached before cancellation or belongs to another shard, or "!"
+// when a degraded merge found the point missing from every journal.
 func cell(r Rates, s core.Strategy) string {
 	if r == nil {
 		return "-"
+	}
+	if v := r[s]; math.IsNaN(v) {
+		return "!"
 	}
 	return fmt.Sprintf("%.0f", r[s])
 }

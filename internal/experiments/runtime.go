@@ -71,6 +71,19 @@ func RuntimeStudy(ctx context.Context, cfg Config, ser, hpd float64) (*Table, er
 				continue
 			}
 			if cfg.RequireJournaled {
+				if cfg.Missing != nil {
+					// Degraded merge: keep the row's identity columns and
+					// render every measurement as "!" instead of refusing.
+					cfg.Missing.add(key)
+					cfg.Metrics.Counter("experiments.rows_missing").Add(1)
+					cells := []string{fmt.Sprint(n), s.String()}
+					for len(cells) < len(t.Header) {
+						cells = append(cells, "!")
+					}
+					t.AddRow(cells)
+					rowPh.Add(1)
+					continue
+				}
 				return nil, cfg.missingRow(key)
 			}
 			if !cfg.owns(key) {

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package faultject
+
+import "os"
+
+// Kill terminates the current process abruptly. Non-unix fallback: exit
+// with the conventional 128+9 status supervisors map to SIGKILL.
+func Kill() {
+	os.Exit(137)
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package faultject
+
+import (
+	"os"
+	"syscall"
+)
+
+// Kill terminates the current process with SIGKILL, simulating a power
+// cut or OOM kill at the exact instruction the failpoint fired. Used by
+// KindKill hook sites after landing a torn write.
+func Kill() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL is not maskable; if we are somehow still here, hard-exit
+	// with the conventional 128+9 status so supervisors see a kill.
+	os.Exit(137)
+}

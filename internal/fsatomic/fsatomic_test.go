@@ -1,0 +1,153 @@
+package fsatomic
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultject"
+)
+
+// TestWriteFileInstalls: the write lands atomically, replaces prior
+// content, and leaves no temp litter.
+func TestWriteFileInstalls(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	for _, content := range []string{"first", "second, longer than the first"} {
+		if err := WriteFile(path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != content {
+			t.Fatalf("read back %q (%v), want %q", got, err, content)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("dir holds %d entries after installs, want 1 (temp litter?)", len(ents))
+	}
+}
+
+// TestInstallStreams: Install renders through the writer into the final
+// path; a writer error aborts without touching the destination.
+func TestInstallStreams(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := Install(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "streamed")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "streamed" {
+		t.Fatalf("read back %q", got)
+	}
+	boom := errors.New("render failed")
+	if err := Install(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Install error = %v, want render failure", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "streamed" {
+		t.Errorf("failed Install clobbered destination: %q", got)
+	}
+}
+
+// TestFailpointENOSPC: the injected full disk fails up front, classified
+// as ENOSPC, and the destination is untouched.
+func TestFailpointENOSPC(t *testing.T) {
+	t.Cleanup(faultject.Reset)
+	path := filepath.Join(t.TempDir(), "out")
+	if err := WriteFile(path, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultject.Arm("test.point=enospc:after=1"); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFileFP(path, []byte("update"), "test.point")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("error = %v, want ENOSPC", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "base" {
+		t.Errorf("destination changed on injected ENOSPC: %q", got)
+	}
+	// The rule fired once; the next write goes through.
+	if err := WriteFileFP(path, []byte("update"), "test.point"); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+}
+
+// TestFailpointShortWrite: the short write errors with io.ErrShortWrite
+// and leaves neither destination damage nor temp litter.
+func TestFailpointShortWrite(t *testing.T) {
+	t.Cleanup(faultject.Reset)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	if err := WriteFile(path, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultject.Arm("test.point=short"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileFP(path, []byte("update"), "test.point"); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("error = %v, want short write", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "base" {
+		t.Errorf("destination changed on injected short write: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp litter left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestFailpointTornRename: the install "succeeds" but publishes truncated
+// content — the failure mode downstream CRC framing must absorb.
+func TestFailpointTornRename(t *testing.T) {
+	t.Cleanup(faultject.Reset)
+	path := filepath.Join(t.TempDir(), "out")
+	if err := faultject.Arm("test.point=torn"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("0123456789")
+	if err := WriteFileFP(path, data, "test.point"); err != nil {
+		t.Fatalf("torn rename should not error: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data)/2 {
+		t.Errorf("torn install published %d bytes, want %d", len(got), len(data)/2)
+	}
+}
+
+// TestDisarmedPassThrough: with nothing armed, the failpoint variant is
+// the plain write.
+func TestDisarmedPassThrough(t *testing.T) {
+	faultject.Reset()
+	path := filepath.Join(t.TempDir(), "out")
+	if err := WriteFileFP(path, []byte("data"), "test.point"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "data" {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+// TestSyncDir: fsync on a real directory succeeds (or is tolerated), and
+// a missing directory errors.
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Errorf("SyncDir(tempdir) = %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("SyncDir of missing dir succeeded")
+	}
+}

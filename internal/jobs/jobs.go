@@ -49,6 +49,11 @@ const ArtifactTable = "table.txt"
 // stitched by obs.MergeTraces into one cross-process timeline.
 const ArtifactTrace = "trace.json"
 
+// ArtifactIncomplete is the artifact name of a partial (degraded) merge's
+// machine-readable gap report: which rows are missing and which shard
+// owns each, so an operator knows exactly what to re-run.
+const ArtifactIncomplete = "incomplete.json"
+
 // Artifact names of a design job.
 const (
 	// ArtifactResultText is the human-readable design summary.
@@ -233,14 +238,18 @@ type Status struct {
 	Fig      string `json:"fig,omitempty"`
 	Tenant   string `json:"tenant,omitempty"`
 	Priority int    `json:"priority,omitempty"`
-	// State is queued, running, done, failed, canceled or interrupted
-	// (interrupted = stopped by a scheduler shutdown; it resumes on the
-	// next start when a state directory is configured).
+	// State is queued, running, done, failed, canceled, interrupted
+	// (stopped by a scheduler shutdown; it resumes on the next start when
+	// a state directory is configured) or quarantined (failed permanently
+	// or exhausted its retry budget; held until Retry re-opens it).
 	State string `json:"state"`
 	Error string `json:"error,omitempty"`
 	// Submits counts submissions collapsed into this job (≥ 1); values
 	// above 1 are deduplicated resubmissions of the same spec.
-	Submits     int       `json:"submits"`
+	Submits int `json:"submits"`
+	// Attempts counts runs started across the job's durable life,
+	// monotonic across crashes, restarts and manual retries.
+	Attempts    int       `json:"attempts,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
 	FinishedAt  time.Time `json:"finished_at"`
@@ -256,4 +265,5 @@ const (
 	StateFailed      = "failed"
 	StateCanceled    = "canceled"
 	StateInterrupted = "interrupted"
+	StateQuarantined = "quarantined"
 )

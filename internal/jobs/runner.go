@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/cc"
@@ -50,6 +52,16 @@ func runFigure(ctx context.Context, j *Job, rowJ *runstate.Journal, ec *evalcach
 	return renderFigure(ctx, spec, cfg, j.obs, ec)
 }
 
+// MergeOpt tunes a MergeShards call.
+type MergeOpt int
+
+// Partial switches MergeShards from strict to degraded mode: shards whose
+// journals are missing or damaged no longer refuse the merge — their rows
+// render as "!" cells and the ArtifactIncomplete report names every
+// missing row and the shard that owns it. Strict (no options) remains the
+// default: an incomplete sweep refuses loudly rather than produce a table.
+const Partial MergeOpt = 1
+
 // MergeShards reassembles a sharded sweep from its shard directory into
 // the figure's ArtifactTable — byte-identical to a single-process run of
 // the same spec. The merge never computes: every row is restored from the
@@ -57,7 +69,14 @@ func runFigure(ctx context.Context, j *Job, rowJ *runstate.Journal, ec *evalcach
 // loud *shard.IncompleteError naming the workers to rerun. The manifest
 // must describe exactly the workload and figure the spec asks for, so
 // journals from a different sweep can never be dressed up as this one.
-func MergeShards(ctx context.Context, spec Spec, dir string, inst Instruments) (Artifacts, error) {
+// Passing Partial degrades instead of refusing; see MergeOpt.
+func MergeShards(ctx context.Context, spec Spec, dir string, inst Instruments, opts ...MergeOpt) (Artifacts, error) {
+	partial := false
+	for _, o := range opts {
+		if o == Partial {
+			partial = true
+		}
+	}
 	if spec.Kind == "" {
 		spec.Kind = KindFigure
 	}
@@ -72,7 +91,16 @@ func MergeShards(ctx context.Context, spec Spec, dir string, inst Instruments) (
 	if !ShardableFigure(base.Fig) {
 		return nil, fmt.Errorf("jobs: figure %s is not shardable, nothing to merge", base.Fig)
 	}
-	rows, err := shard.Load(dir)
+	var (
+		rows    *shard.Rows
+		reasons map[int]string
+		err     error
+	)
+	if partial {
+		rows, reasons, err = shard.LoadPartial(dir)
+	} else {
+		rows, err = shard.Load(dir)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +129,57 @@ func MergeShards(ctx context.Context, spec Spec, dir string, inst Instruments) (
 		Metrics:          inst.Metrics, Progress: inst.Progress, Log: inst.Log,
 		Events:           inst.Events,
 	}
-	return renderFigure(ctx, base, cfg, inst, nil)
+	var missing *experiments.MissingRows
+	if partial {
+		missing = &experiments.MissingRows{}
+		cfg.Missing = missing
+	}
+	art, err := renderFigure(ctx, base, cfg, inst, nil)
+	if partial && art != nil {
+		rep, jerr := incompleteReport(base.Fig, m.Shards, rows.Len(), reasons, missing.Keys())
+		if jerr != nil {
+			if err == nil {
+				err = jerr
+			}
+		} else {
+			art[ArtifactIncomplete] = rep
+		}
+	}
+	return art, err
+}
+
+// incompleteReport renders the ArtifactIncomplete JSON of a degraded
+// merge: which shards were unusable and why, and every missing row with
+// the shard that owns it — exactly what to re-run to complete the table.
+func incompleteReport(fig string, shards, present int, reasons map[int]string, missingKeys []string) ([]byte, error) {
+	type missingRow struct {
+		Key   string `json:"key"`
+		Shard int    `json:"shard"`
+	}
+	sort.Strings(missingKeys)
+	rows := make([]missingRow, len(missingKeys))
+	for i, k := range missingKeys {
+		rows[i] = missingRow{Key: k, Shard: shard.Index(k, shards)}
+	}
+	byShard := map[string]string{}
+	for i, why := range reasons {
+		byShard[strconv.Itoa(i)] = why
+	}
+	return jsonMarshalIndent(struct {
+		Fig          string            `json:"fig"`
+		Shards       int               `json:"shards"`
+		Complete     bool              `json:"complete"`
+		PresentRows  int               `json:"present_rows"`
+		MissingRows  []missingRow      `json:"missing_rows,omitempty"`
+		ShardReasons map[string]string `json:"shard_reasons,omitempty"`
+	}{
+		Fig:          fig,
+		Shards:       shards,
+		Complete:     len(reasons) == 0 && len(missingKeys) == 0,
+		PresentRows:  present,
+		MissingRows:  rows,
+		ShardReasons: byShard,
+	})
 }
 
 // renderFigure dispatches one figure run (live, sharded or merge — the

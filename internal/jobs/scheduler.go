@@ -8,13 +8,17 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/evalcache"
 	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/runctl"
 	"repro/internal/runstate"
+	"repro/internal/shard"
 )
 
 // ErrClosed is returned by Submit once the scheduler is shutting down.
@@ -61,6 +65,34 @@ type Options struct {
 	// on Options, not Spec — specs are content-addressed and a cache
 	// location must not change a job's identity.
 	EvalCache *evalcache.Cache
+	// Retry, when non-nil, is the self-healing policy: a job failing with
+	// a retryable error (retry.IsRetryable — torn journal writes, ENOSPC,
+	// a slice journal still flock-held by a dying worker) is re-enqueued
+	// after a backoff delay instead of going terminal, until the policy's
+	// attempt budget is spent. Attempt counts are journaled in state.jsonl
+	// so restarts never reset a budget. A permanent error, or an exhausted
+	// budget, quarantines the job: terminal until a human (or the sweep
+	// watchdog) calls Retry, with job.quarantined in the event log. Nil
+	// keeps the pre-self-healing behavior: every failure is terminal.
+	Retry *retry.Policy
+	// LeaseInterval paces the heartbeat on the lease file each sharded
+	// slice maintains in its sweep directory (0 = shard.DefaultLeaseInterval).
+	LeaseInterval time.Duration
+	// LeaseStale is how old a slice lease's heartbeat must be before the
+	// sweep watchdog declares its worker dead and resubmits the slice
+	// (0 = 10s). Must be a comfortable multiple of LeaseInterval.
+	LeaseStale time.Duration
+}
+
+// defaultLeaseStale is the watchdog staleness threshold when Options
+// does not set one.
+const defaultLeaseStale = 10 * time.Second
+
+func (o Options) leaseStale() time.Duration {
+	if o.LeaseStale > 0 {
+		return o.LeaseStale
+	}
+	return defaultLeaseStale
 }
 
 // Job is one scheduled exploration. All mutable fields are guarded by
@@ -82,9 +114,16 @@ type Job struct {
 	userCanceled bool
 	cancel       context.CancelFunc // set while running
 	submits      int
-	submittedAt  time.Time
-	startedAt    time.Time
-	finishedAt   time.Time
+	// attempts counts runs started across the job's whole durable life,
+	// monotonic even across manual retries (journaled as try| rows).
+	// budgetBase is the attempt count the current budget window started
+	// at: Retry (manual un-quarantine) moves it forward so the policy's
+	// MaxAttempts applies per window, while the history stays monotonic.
+	attempts    int
+	budgetBase  int
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
 
 	artifacts Artifacts
 	err       error
@@ -191,6 +230,7 @@ type Scheduler struct {
 	state *runstate.Journal
 
 	mSubmitted, mDedup, mCompleted, mFailed, mCanceled, mInterrupted *obs.Counter
+	mRetried, mQuarantined                                           *obs.Counter
 	hQueueWait                                                       *obs.Histogram
 	gRunning                                                         *obs.Gauge
 }
@@ -208,6 +248,14 @@ type doneRecord struct {
 	Artifacts map[string][]byte `json:"artifacts,omitempty"`
 	Err       string            `json:"err,omitempty"`
 	Canceled  bool              `json:"canceled,omitempty"`
+}
+
+// quarRecord is the durable form of one quarantine: the error that spent
+// the attempt budget. Keyed quar|<id>|<attempts> — the attempt count makes
+// the key unique per quarantine, since the journal dedups repeated keys.
+type quarRecord struct {
+	Err      string `json:"err,omitempty"`
+	Attempts int    `json:"attempts"`
 }
 
 // New builds a scheduler, restores its durable state when Options.Dir is
@@ -236,6 +284,8 @@ func New(o Options) (*Scheduler, error) {
 		mFailed:      reg.Counter("jobs.failed"),
 		mCanceled:    reg.Counter("jobs.canceled"),
 		mInterrupted: reg.Counter("jobs.interrupted"),
+		mRetried:     reg.Counter("jobs.retries"),
+		mQuarantined: reg.Counter("jobs.quarantined"),
 		hQueueWait:   reg.Histogram("jobs.queue_wait"),
 		gRunning:     reg.Gauge("jobs.running"),
 	}
@@ -264,8 +314,9 @@ func New(o Options) (*Scheduler, error) {
 }
 
 // recover replays the state journal: done jobs become resolved entries,
-// jobs submitted but never completed are re-enqueued in their original
-// submission order.
+// quarantined jobs come back quarantined (with their attempt history, so
+// a restart never resets a budget), and jobs submitted but never
+// completed are re-enqueued in their original submission order.
 func (s *Scheduler) recover() {
 	rows := s.state.RestoredRows()
 	type pending struct {
@@ -274,6 +325,9 @@ func (s *Scheduler) recover() {
 	}
 	var order []pending
 	done := map[string]doneRecord{}
+	attempts := map[string]int{}
+	base := map[string]int{}
+	quar := map[string]string{} // id → error text while quarantined
 	for _, r := range rows {
 		if id, ok := cutPrefix(r.Key, "done|"); ok {
 			var rec doneRecord
@@ -287,6 +341,32 @@ func (s *Scheduler) recover() {
 			if jsonUnmarshal(r.Data, &rec) {
 				order = append(order, pending{id, rec})
 			}
+			continue
+		}
+		// Self-healing rows, replayed in file order so a quarantine after a
+		// manual retry lands quarantined, and vice versa.
+		if rest, ok := cutPrefix(r.Key, "try|"); ok {
+			if id, n, ok := splitAttemptKey(rest); ok && n > attempts[id] {
+				attempts[id] = n
+			}
+			continue
+		}
+		if rest, ok := cutPrefix(r.Key, "quar|"); ok {
+			if id, _, ok := splitAttemptKey(rest); ok {
+				var rec quarRecord
+				if jsonUnmarshal(r.Data, &rec) && rec.Err != "" {
+					quar[id] = rec.Err
+				} else {
+					quar[id] = "quarantined by a previous run"
+				}
+			}
+			continue
+		}
+		if rest, ok := cutPrefix(r.Key, "retry|"); ok {
+			if id, n, ok := splitAttemptKey(rest); ok {
+				base[id] = n
+				delete(quar, id)
+			}
 		}
 	}
 	for _, p := range order {
@@ -295,6 +375,8 @@ func (s *Scheduler) recover() {
 			Priority: p.rec.Priority,
 			Timeout:  time.Duration(p.rec.Timeout),
 		})
+		j.attempts = attempts[p.id]
+		j.budgetBase = base[p.id]
 		s.jobs[p.id] = j
 		if rec, ok := done[p.id]; ok {
 			j.state = StateDone
@@ -310,11 +392,31 @@ func (s *Scheduler) recover() {
 			close(j.done)
 			continue
 		}
+		if msg, ok := quar[p.id]; ok {
+			j.state = StateQuarantined
+			j.err = errors.New(msg)
+			close(j.done)
+			continue
+		}
 		s.resumed++
 		s.enqueueLocked(j)
 		s.log.Info("job resumed from state journal", "job", p.id, "kind", p.rec.Spec.Kind, "fig", p.rec.Spec.Fig)
 		s.events.Emit("job.resumed", p.id, eventFields(p.rec.Spec))
 	}
+}
+
+// splitAttemptKey parses the "<id>|<n>" tail of a try|/quar|/retry| state
+// row key.
+func splitAttemptKey(rest string) (id string, n int, ok bool) {
+	i := strings.LastIndexByte(rest, '|')
+	if i < 1 {
+		return "", 0, false
+	}
+	v, err := strconv.Atoi(rest[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:i], v, true
 }
 
 // Resumed reports how many in-flight jobs the state journal re-enqueued
@@ -506,11 +608,23 @@ func (s *Scheduler) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.startedAt = start
+	j.attempts++
+	attempt := j.attempts
 	s.mu.Unlock()
+	if s.state != nil {
+		// The attempt lands on disk before the run starts, so a crashed
+		// attempt still spends budget after a restart. Best-effort: a
+		// journal hiccup here must not block the run it describes.
+		if rerr := s.state.Record(fmt.Sprintf("try|%s|%d", j.id, attempt), struct{}{}); rerr != nil {
+			s.log.Error("attempt not journaled", "job", j.id, "attempt", attempt, "err", rerr.Error())
+		}
+	}
 	s.gRunning.Set(s.gRunning.Value() + 1)
 	s.hQueueWait.Observe(start.Sub(j.submittedAt))
-	s.log.Info("job start", "job", j.id, "kind", j.spec.Kind, "fig", j.spec.Fig, "queue_wait", start.Sub(j.submittedAt))
-	s.events.Emit("job.started", j.id, eventFields(j.spec))
+	s.log.Info("job start", "job", j.id, "kind", j.spec.Kind, "fig", j.spec.Fig, "queue_wait", start.Sub(j.submittedAt), "attempt", attempt)
+	startedFields := eventFields(j.spec)
+	startedFields["attempt"] = attempt
+	s.events.Emit("job.started", j.id, startedFields)
 	if j.spec.ShardCount > 1 {
 		s.events.Emit("shard.started", j.id, map[string]any{
 			"index": j.spec.ShardIndex, "count": j.spec.ShardCount, "fig": j.spec.Fig,
@@ -583,6 +697,20 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (art Artifacts, err err
 			defer rj.Close()
 			rowJ = rj
 			sliceTrace = true
+			// Heartbeat lease for the watchdog: a dead worker's lease goes
+			// stale, a live one's never does. Advisory only (the journal
+			// flock is the mutual exclusion), so failure to install it is
+			// logged, not fatal.
+			s.mu.Lock()
+			attempt := j.attempts
+			s.mu.Unlock()
+			if dir, derr := s.sweepDir(j.spec); derr == nil {
+				if lease, lerr := shard.AcquireLease(dir, j.spec.ShardIndex, j.spec.ShardCount, attempt, s.opts.LeaseInterval); lerr != nil {
+					s.log.Error("slice lease not acquired", "job", j.id, "err", lerr.Error())
+				} else {
+					defer lease.Release()
+				}
+			}
 			if rj.Restored() > 0 {
 				j.obs.Events.Emit("shard.resumed", map[string]any{
 					"index": j.spec.ShardIndex, "count": j.spec.ShardCount,
@@ -638,6 +766,24 @@ func (s *Scheduler) completeJob(j *Job, artifacts Artifacts, err error) {
 	// journaled, so a durable scheduler resumes it on the next start.
 	interrupted := err != nil && errors.Is(err, runctl.ErrCanceled) &&
 		!userCanceled && (closing || parentCanceled)
+
+	// Self-healing disposition. With a retry policy configured, a failure
+	// that is neither an interruption nor a user cancel goes one of two
+	// ways instead of terminal-failed: retryable with budget left →
+	// backoff and re-enqueue; permanent or exhausted → quarantine, held
+	// for a human (or the sweep watchdog) to Retry.
+	if err != nil && !interrupted && !userCanceled && s.opts.Retry != nil && s.opts.Retry.MaxAttempts > 1 {
+		p := s.opts.Retry
+		s.mu.Lock()
+		used := j.attempts - j.budgetBase
+		s.mu.Unlock()
+		if retry.IsRetryable(err) && !p.Exhausted(used) {
+			s.scheduleRetry(j, err, p.Delay(used))
+			return
+		}
+		s.quarantine(j, artifacts, err)
+		return
+	}
 
 	if !interrupted && s.state != nil {
 		rec := doneRecord{Artifacts: artifacts, Canceled: userCanceled && err != nil}
@@ -695,6 +841,121 @@ func (s *Scheduler) completeJob(j *Job, artifacts Artifacts, err error) {
 	}
 }
 
+// scheduleRetry re-enqueues j after a backoff delay. The job's done
+// channel stays open — waiters keep waiting across the whole retry
+// sequence and only ever observe the final outcome — and the failure is
+// not journaled as a completion, so a crash mid-backoff resumes the job
+// on restart (the journaled try| rows keep the budget honest).
+func (s *Scheduler) scheduleRetry(j *Job, cause error, delay time.Duration) {
+	s.mu.Lock()
+	j.state = StateQueued
+	j.cancel = nil
+	j.err = cause // visible in Status while the backoff runs
+	attempt := j.attempts
+	s.mu.Unlock()
+	s.mRetried.Add(1)
+	s.log.Info("job retry scheduled", "job", j.id, "attempt", attempt, "delay", delay, "err", cause.Error())
+	s.events.Emit("job.retry", j.id, map[string]any{
+		"attempt": attempt, "delay_ms": delay.Milliseconds(), "error": cause.Error(),
+	})
+	time.AfterFunc(delay, func() { s.requeueRetry(j, cause) })
+}
+
+// requeueRetry fires when a retry backoff elapses: normally the job goes
+// back in its queue; under a shutdown it completes interrupted (resumed
+// by the next scheduler over the same state dir); after a user cancel it
+// completes canceled.
+func (s *Scheduler) requeueRetry(j *Job, cause error) {
+	s.mu.Lock()
+	switch {
+	case s.closing:
+		s.mu.Unlock()
+		s.completeJob(j, nil, fmt.Errorf("%w: retry interrupted by shutdown: %s", runctl.ErrCanceled, cause))
+	case j.userCanceled:
+		s.mu.Unlock()
+		s.completeJob(j, nil, fmt.Errorf("%w: canceled during retry backoff", runctl.ErrCanceled))
+	default:
+		s.enqueueLocked(j)
+		s.mu.Unlock()
+	}
+}
+
+// quarantine parks j terminally-but-revivably: the outcome is journaled
+// as a quar| row (not a done| completion, so the submission stays live in
+// the state journal and a restart re-quarantines rather than re-runs),
+// waiters are released with the error, and Retry can re-open the budget.
+func (s *Scheduler) quarantine(j *Job, artifacts Artifacts, err error) {
+	s.mu.Lock()
+	j.artifacts = artifacts
+	j.err = err
+	j.finishedAt = time.Now()
+	j.state = StateQuarantined
+	attempts := j.attempts
+	s.mu.Unlock()
+	if s.state != nil {
+		rec := quarRecord{Err: err.Error(), Attempts: attempts}
+		if rerr := s.state.Record(fmt.Sprintf("quar|%s|%d", j.id, attempts), rec); rerr != nil {
+			s.log.Error("quarantine not journaled", "job", j.id, "err", rerr.Error())
+		}
+	}
+	close(j.done)
+	s.mQuarantined.Add(1)
+	s.log.Error("job quarantined", "job", j.id, "attempts", attempts, "err", err.Error())
+	s.events.Emit("job.quarantined", j.id, map[string]any{
+		"attempts": attempts, "error": err.Error(),
+	})
+}
+
+// Retry un-quarantines a job: the same spec re-enqueues with a fresh
+// attempt budget window. The attempt history stays monotonic — the new
+// window simply starts at the current count — and the retry| state row
+// makes both the un-quarantine and the window survive restarts.
+func (s *Scheduler) Retry(id string) (*Handle, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("jobs: no job %s", id)
+	}
+	if j.state != StateQuarantined {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("jobs: job %s is %s, not quarantined", id, j.state)
+	}
+	if s.closing {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Fresh Job (the old done channel already closed; waiters saw the
+	// quarantine), same identity and submission parameters.
+	nj := s.newJob(id, j.spec, SubmitOptions{Tenant: j.tenant, Priority: j.priority, Timeout: j.timeout})
+	nj.parent = j.parent
+	nj.attempts = j.attempts
+	nj.budgetBase = j.attempts
+	nj.submits = j.submits + 1
+	s.jobs[id] = nj
+	s.mu.Unlock()
+
+	if s.state != nil {
+		if rerr := s.state.Record(fmt.Sprintf("retry|%s|%d", id, nj.budgetBase), struct{}{}); rerr != nil {
+			s.log.Error("retry not journaled", "job", id, "err", rerr.Error())
+		}
+	}
+	s.log.Info("job retried from quarantine", "job", id, "attempts", nj.attempts)
+	s.events.Emit("job.retried", id, map[string]any{"attempts": nj.attempts})
+
+	s.mu.Lock()
+	if s.closing {
+		// Lost the race with Close: put the quarantined entry back so the
+		// job is not left queued for a pool that has stopped.
+		s.jobs[id] = j
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.enqueueLocked(nj)
+	s.mu.Unlock()
+	return &Handle{s, nj}, nil
+}
+
 // eventFields condenses a spec into the detail fields its lifecycle
 // events carry.
 func eventFields(spec Spec) map[string]any {
@@ -726,7 +987,7 @@ func (s *Scheduler) Get(id string) (*Handle, bool) {
 func (s *Scheduler) Cancel(id string) bool {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
-	if !ok || j.state == StateDone || j.state == StateFailed || j.state == StateCanceled || j.state == StateInterrupted {
+	if !ok || j.state == StateDone || j.state == StateFailed || j.state == StateCanceled || j.state == StateInterrupted || j.state == StateQuarantined {
 		s.mu.Unlock()
 		return false
 	}
@@ -788,6 +1049,7 @@ func (s *Scheduler) status(j *Job) Status {
 		Priority:    j.priority,
 		State:       j.state,
 		Submits:     j.submits,
+		Attempts:    j.attempts,
 		SubmittedAt: j.submittedAt,
 		StartedAt:   j.startedAt,
 		FinishedAt:  j.finishedAt,

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"repro/internal/fsatomic"
 	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/runstate"
@@ -62,6 +64,7 @@ type ShardedHandle struct {
 	baseID string
 	dir    string
 	spec   Spec // base spec, shard coordinates zeroed
+	so     SubmitOptions
 	shards []*Handle
 	inst   Instruments
 	// sweepSpan is the coordinator's span covering the whole sweep; every
@@ -172,6 +175,7 @@ func (s *Scheduler) SubmitSharded(spec Spec, shards int, so SubmitOptions) (*Sha
 	// orders it ahead of the slices' own lifecycle events.
 	h.sweepSpan = h.inst.Tracer.Start("sweep."+spec.Fig, obs.Int("shards", shards))
 	so.TraceParent = h.sweepSpan.Ref()
+	h.so = so
 	s.events.Emit("sweep.submitted", baseID, map[string]any{"fig": spec.Fig, "shards": shards})
 	for i := 0; i < shards; i++ {
 		sl := spec
@@ -192,33 +196,99 @@ func (s *Scheduler) SubmitSharded(spec Spec, shards int, so SubmitOptions) (*Sha
 	return h, nil
 }
 
-// run waits for every shard worker, ticking the coordinator's global
-// "shard.workers" phase, then merges. Any failed slice fails the sweep
-// (with every slice's error reported) and the merge is not attempted —
-// an incomplete sweep can only ever fail loudly, never produce a table.
+// run supervises the sweep: it waits for every shard worker, ticking the
+// coordinator's global "shard.workers" phase, and acts as the sweep
+// watchdog — a slice that fails under a stale lease held by another
+// (dead) process is resubmitted rather than counted against the sweep,
+// because its journal resumes and the re-run recomputes only what the
+// dead worker never journaled. Slices whose failures stand fail the
+// sweep (with every slice's error reported) and the merge is not
+// attempted — an incomplete sweep can only ever fail loudly, never
+// silently produce a table; -merge -partial is the explicit opt-in.
 func (h *ShardedHandle) run(parent context.Context) {
 	defer close(h.done)
 	ph := h.inst.Progress.Phase("shard.workers")
-	ph.SetTotal(int64(len(h.shards)))
-	var errs []error
-	for i, sh := range h.shards {
-		if _, err := sh.Wait(parent); err != nil {
-			errs = append(errs, fmt.Errorf("shard %d/%d (job %s): %w", i, len(h.shards), sh.ID(), err))
-			continue
-		}
-		ph.Add(1)
-	}
-	if len(errs) > 0 {
-		h.sweepSpan.End()
-		h.err = fmt.Errorf("jobs: sharded sweep %s: %w", h.baseID, errors.Join(errs...))
-		h.s.events.Emit("sweep.failed", h.baseID, map[string]any{"error": h.err.Error()})
-		return
-	}
-	ph.Done()
+	n := len(h.shards)
+	ph.SetTotal(int64(n))
 	ctx := parent
 	if ctx == nil {
 		ctx = context.Background()
 	}
+
+	// slices holds the current incarnation of each slice job; healSlice
+	// swaps in replacements. credited remembers which slices already
+	// ticked the progress phase (a healed slice only counts once).
+	slices := make([]*Handle, n)
+	copy(slices, h.shards)
+	credited := make([]bool, n)
+
+	// Fan-in: any slice finishing (or being replaced) pokes the wake
+	// channel; the lease watchdog additionally scans on a timer so a
+	// foreign worker dying without finishing anything still gets noticed.
+	wake := make(chan struct{}, 1)
+	poke := func() {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+	watch := func(c <-chan struct{}) { go func() { <-c; poke() }() }
+	for _, sh := range slices {
+		watch(sh.Done())
+	}
+	poll := h.s.opts.leaseStale() / 4
+	if poll < 100*time.Millisecond {
+		poll = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+
+	ctxDone := ctx.Done()
+	for {
+		settled := 0
+		var errs []error
+		for i, sh := range slices {
+			select {
+			case <-sh.Done():
+			default:
+				continue
+			}
+			_, err := sh.Wait(nil)
+			if err == nil {
+				settled++
+				if !credited[i] {
+					credited[i] = true
+					ph.Add(1)
+				}
+				continue
+			}
+			if nh := h.healSlice(i, sh, err); nh != nil {
+				slices[i] = nh
+				watch(nh.Done())
+				continue
+			}
+			settled++
+			errs = append(errs, fmt.Errorf("shard %d/%d (job %s): %w", i, n, sh.ID(), err))
+		}
+		if settled == n {
+			if len(errs) > 0 {
+				h.sweepSpan.End()
+				h.err = fmt.Errorf("jobs: sharded sweep %s: %w", h.baseID, errors.Join(errs...))
+				h.s.events.Emit("sweep.failed", h.baseID, map[string]any{"error": h.err.Error()})
+				return
+			}
+			break
+		}
+		select {
+		case <-ctxDone:
+			// The parent cancel reaches every slice directly; stop
+			// selecting on the closed channel and let them settle.
+			ctxDone = nil
+		case <-wake:
+		case <-ticker.C:
+		}
+	}
+	ph.Done()
 	h.inst.Log.Info("sharded sweep merging", "sweep", h.baseID, "dir", h.dir)
 	h.artifacts, h.err = MergeShards(ctx, h.spec, h.dir, h.inst)
 	h.sweepSpan.End()
@@ -232,6 +302,52 @@ func (h *ShardedHandle) run(parent context.Context) {
 	h.s.events.Emit("sweep.merged", h.baseID, map[string]any{
 		"fig": h.spec.Fig, "shards": len(h.shards),
 	})
+}
+
+// healSlice is the watchdog's verdict on one failed slice: when the
+// slice's lease file stopped heartbeating longer than the staleness
+// threshold ago and belongs to another process, the worker that held the
+// slice died (SIGKILL, OOM, power cut) and the failure — typically a
+// journal still flock-held at open time, or a torn write — is
+// environmental, not the spec's fault. The slice is then resubmitted (a
+// quarantined slice goes through Retry, re-opening its budget) and the
+// replacement handle returned; its journal resumes, so re-execution is
+// byte-identical. Any other failure returns nil: the error stands.
+func (h *ShardedHandle) healSlice(i int, old *Handle, cause error) *Handle {
+	if errors.Is(cause, runctl.ErrCanceled) {
+		return nil // canceled or interrupted, not dead — never resubmit
+	}
+	stale, info := shard.LeaseStale(h.dir, i, len(h.shards), h.s.opts.leaseStale())
+	if !stale || info.PID == os.Getpid() {
+		return nil
+	}
+	h.s.events.Emit("watchdog.stale", h.baseID, map[string]any{
+		"shard": i, "pid": info.PID, "attempt": info.Attempt,
+	})
+	// Reap the dead worker's lease so one stale file cannot justify a
+	// second resubmission of the same slice.
+	os.Remove(filepath.Join(h.dir, shard.LeaseName(i, len(h.shards))))
+
+	var (
+		nh  *Handle
+		err error
+	)
+	if old.Status().State == StateQuarantined {
+		nh, err = h.s.Retry(old.ID())
+	} else {
+		sl := h.spec
+		sl.ShardIndex, sl.ShardCount = i, len(h.shards)
+		nh, err = h.s.Submit(sl, h.so)
+	}
+	if err != nil {
+		h.inst.Log.Error("slice resubmit failed", "sweep", h.baseID, "shard", i, "err", err.Error())
+		return nil
+	}
+	h.s.log.Info("slice resubmitted by watchdog", "sweep", h.baseID, "shard", i, "job", nh.ID(), "dead_pid", info.PID)
+	h.s.events.Emit("sweep.resubmitted", h.baseID, map[string]any{
+		"shard": i, "job": nh.ID(), "cause": cause.Error(),
+	})
+	return nh
 }
 
 // mergedTrace stitches the coordinator's trace with every worker trace
@@ -279,23 +395,6 @@ func (s *Scheduler) writeShardTrace(j *Job) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".trace-*")
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteChromeTrace(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
 	dst := filepath.Join(dir, shard.TraceName(j.spec.ShardIndex, j.spec.ShardCount))
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return fsatomic.Install(dst, tr.WriteChromeTrace)
 }

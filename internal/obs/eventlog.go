@@ -30,6 +30,8 @@ type EventLog struct {
 	journal *runstate.Journal // nil in memory-only mode
 	ring    []LogEvent        // most recent eventRingCap events, oldest first
 	seq     int64
+	dropped int64 // events pushed out of the ring since open
+	meter   *Counter
 	changed chan struct{}
 	now     func() time.Time // injectable clock for tests
 }
@@ -76,7 +78,10 @@ func OpenEventLog(path string) (*EventLog, error) {
 		if !j.Lookup(row.Key, &ev) {
 			continue
 		}
-		e.ring = appendRing(e.ring, ev)
+		// Replay truncation is not counted as a drop: every replayed
+		// event is safely in the journal; Dropped tracks ring overflow
+		// only, which is what the SSE gap marker reports on.
+		e.ring = appendRingLocked(e.ring, ev)
 		if ev.Seq > e.seq {
 			e.seq = ev.Seq
 		}
@@ -84,12 +89,26 @@ func OpenEventLog(path string) (*EventLog, error) {
 	return e, nil
 }
 
-func appendRing(ring []LogEvent, ev LogEvent) []LogEvent {
+func appendRingLocked(ring []LogEvent, ev LogEvent) []LogEvent {
 	ring = append(ring, ev)
 	if len(ring) > eventRingCap {
 		ring = ring[len(ring)-eventRingCap:]
 	}
 	return ring
+}
+
+// appendRing adds ev to the ring, counting any event it pushes out:
+// a watcher that has not caught up past the evicted sequence number can
+// no longer replay it from memory. Called with e.mu held.
+func (e *EventLog) appendRing(ev LogEvent) {
+	before := len(e.ring)
+	e.ring = appendRingLocked(e.ring, ev)
+	if evicted := before + 1 - len(e.ring); evicted > 0 {
+		e.dropped += int64(evicted)
+		if e.meter != nil {
+			e.meter.Add(int64(evicted))
+		}
+	}
 }
 
 // Emit records one event, assigning its sequence number and timestamp.
@@ -109,11 +128,50 @@ func (e *EventLog) Emit(typ, job string, fields map[string]any) {
 		// stream stays consistent regardless.
 		_ = e.journal.Record(fmt.Sprintf("%016d", ev.Seq), ev)
 	}
-	e.ring = appendRing(e.ring, ev)
+	e.appendRing(ev)
 	ch := e.changed
 	e.changed = make(chan struct{})
 	e.mu.Unlock()
 	close(ch)
+}
+
+// MeterDropped attaches a counter (typically a registry's
+// "events.dropped", exported as events_dropped_total) that is bumped
+// once per event the ring evicts before every watcher could replay it.
+func (e *EventLog) MeterDropped(c *Counter) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.meter = c
+	e.mu.Unlock()
+}
+
+// Dropped returns how many events the in-memory ring has evicted since
+// the log opened. Watchers that fell further behind than the ring
+// window get a gap marker computed from OldestBuffered instead of the
+// silently missing events.
+func (e *EventLog) Dropped() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// OldestBuffered returns the sequence number of the oldest event still
+// replayable from memory (0 when the ring is empty).
+func (e *EventLog) OldestBuffered() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.ring) == 0 {
+		return 0
+	}
+	return e.ring[0].Seq
 }
 
 // Seq returns the sequence number of the most recent event (0 when none).

@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+// TestEventLogRingOverflow: once emissions outrun the replay ring, the
+// evictions are counted — Dropped, the attached events.dropped counter —
+// and OldestBuffered moves up so /events can compute an honest gap
+// marker instead of silently skipping history.
+func TestEventLogRingOverflow(t *testing.T) {
+	e := NewEventLog()
+	reg := NewRegistry()
+	c := reg.Counter("events.dropped")
+	e.MeterDropped(c)
+
+	const extra = 10
+	for i := 0; i < eventRingCap+extra; i++ {
+		e.Emit("tick", "", nil)
+	}
+	if got := e.Dropped(); got != extra {
+		t.Errorf("Dropped() = %d, want %d", got, extra)
+	}
+	if got := c.Value(); got != extra {
+		t.Errorf("events.dropped counter = %d, want %d", got, extra)
+	}
+	if got := e.OldestBuffered(); got != extra+1 {
+		t.Errorf("OldestBuffered() = %d, want %d", got, extra+1)
+	}
+	evs := e.Events(0)
+	if len(evs) != eventRingCap {
+		t.Fatalf("ring replays %d events, want %d", len(evs), eventRingCap)
+	}
+	if evs[0].Seq != extra+1 {
+		t.Errorf("oldest replayable seq = %d, want %d", evs[0].Seq, extra+1)
+	}
+	// Before overflow nothing is dropped.
+	fresh := NewEventLog()
+	fresh.Emit("tick", "", nil)
+	if fresh.Dropped() != 0 || fresh.OldestBuffered() != 1 {
+		t.Errorf("fresh log Dropped=%d OldestBuffered=%d", fresh.Dropped(), fresh.OldestBuffered())
+	}
+}

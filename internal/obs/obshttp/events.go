@@ -79,7 +79,21 @@ func handleEvents(o Options) http.HandlerFunc {
 			// Take the change signal before draining, so an emit landing
 			// between the drain and the select is never missed.
 			changed := o.Events.Changed()
-			for _, ev := range o.Events.Events(since) {
+			evs := o.Events.Events(since)
+			// A client further behind than the ring window gets an explicit
+			// gap marker instead of silently skipped events: the frame names
+			// the missing sequence range so the watcher can decide to resync
+			// from the durable journal (or accept the hole).
+			if len(evs) > 0 && evs[0].Seq > since+1 {
+				gap := map[string]int64{
+					"from": since + 1, "to": evs[0].Seq - 1,
+					"missing": evs[0].Seq - since - 1,
+				}
+				if err := writeSSE(w, 0, "gap", gap); err != nil {
+					return
+				}
+			}
+			for _, ev := range evs {
 				since = ev.Seq
 				if job != "" && ev.Job != job {
 					continue

@@ -1,0 +1,170 @@
+// Package retry implements capped exponential backoff with deterministic
+// seeded jitter, attempt budgets, and error classification for the
+// self-healing sweep layer.
+//
+// Classification splits failures into two classes: retryable I/O faults
+// (a full disk, a torn write, a journal flock still held by a worker that
+// is being torn down) where re-running the job after a pause makes
+// progress because the journal resume path restores every completed row,
+// and permanent spec faults (an unparsable design document, an unknown
+// figure) where re-running burns the budget to reach the same error.
+// Wrap errors with Retryable/Permanent to override the default
+// classification; unmarked errors default to permanent, so only faults
+// the storage layer recognizes as transient are retried.
+package retry
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"syscall"
+	"time"
+)
+
+// Policy is a backoff schedule plus an attempt budget. The zero value is
+// not useful; fill in MaxAttempts at minimum and Delay applies defaults
+// for the rest.
+type Policy struct {
+	// MaxAttempts is the total attempt budget including the first run.
+	// A policy with MaxAttempts <= 1 never retries.
+	MaxAttempts int
+	// BaseDelay is the pause before the first retry (default 250ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 10s).
+	MaxDelay time.Duration
+	// Multiplier is the per-attempt growth factor (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter)
+	// (default 0.2). Zero jitter is expressed as a negative value.
+	Jitter float64
+	// Seed makes the jitter deterministic: the same (Seed, attempt) pair
+	// always yields the same delay, so chaos runs replay identically.
+	Seed int64
+}
+
+func (p Policy) defaults() Policy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 250 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.2
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the pause before re-running after the given failed
+// attempt (1-based): capped exponential in the attempt number, scaled by
+// deterministic seeded jitter.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.defaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(attempt-1))
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		// splitmix64 over (seed, attempt) — cheap, stateless, deterministic.
+		u := splitmix64(uint64(p.Seed)*0x9e3779b97f4a7c15 + uint64(attempt))
+		frac := float64(u>>11) / float64(1<<53) // uniform [0,1)
+		d *= 1 - p.Jitter + 2*p.Jitter*frac
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Exhausted reports whether the budget is spent after the given number
+// of attempts.
+func (p Policy) Exhausted(attempts int) bool {
+	max := p.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	return attempts >= max
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+type marked struct {
+	err       error
+	retryable bool
+}
+
+func (m *marked) Error() string { return m.err.Error() }
+func (m *marked) Unwrap() error { return m.err }
+
+// Retryable marks err as retryable regardless of its type.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &marked{err: err, retryable: true}
+}
+
+// Permanent marks err as permanent regardless of its type.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &marked{err: err, retryable: false}
+}
+
+// transientErrnos are the I/O conditions worth re-running a job for: the
+// disk may drain (ENOSPC), the contended resource may free (EAGAIN,
+// EBUSY, the flock of a dying worker), or the glitch may not recur (EIO,
+// EINTR, broken pipes and reset connections from a co-process).
+var transientErrnos = []syscall.Errno{
+	syscall.ENOSPC, syscall.EAGAIN, syscall.EBUSY, syscall.EINTR,
+	syscall.EIO, syscall.EPIPE, syscall.ECONNRESET, syscall.ETIMEDOUT,
+}
+
+// IsRetryable classifies err. Explicit Retryable/Permanent marks win
+// (innermost-first via errors.As); otherwise transient I/O errors —
+// short writes and the errnos above, however deeply wrapped — are
+// retryable, and everything else (spec errors, validation errors,
+// panics) is permanent.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var m *marked
+	if errors.As(err, &m) {
+		return m.retryable
+	}
+	if errors.Is(err, io.ErrShortWrite) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	if errors.Is(err, fs.ErrPermission) {
+		return false
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		for _, t := range transientErrnos {
+			if errno == t {
+				return true
+			}
+		}
+	}
+	return false
+}

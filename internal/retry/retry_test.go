@@ -1,0 +1,116 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDelayDeterministic: the same (Seed, attempt) pair always yields the
+// same delay, and different seeds spread.
+func TestDelayDeterministic(t *testing.T) {
+	p := Policy{MaxAttempts: 10, Seed: 7}
+	for attempt := 1; attempt <= 6; attempt++ {
+		if a, b := p.Delay(attempt), p.Delay(attempt); a != b {
+			t.Errorf("attempt %d: Delay not deterministic: %v vs %v", attempt, a, b)
+		}
+	}
+	q := Policy{MaxAttempts: 10, Seed: 8}
+	diff := false
+	for attempt := 1; attempt <= 6; attempt++ {
+		if p.Delay(attempt) != q.Delay(attempt) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seeds 7 and 8 produced identical schedules; jitter is not seeded")
+	}
+}
+
+// TestDelayGrowthAndCap: delays grow roughly exponentially and never
+// exceed MaxDelay*(1+Jitter).
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{MaxAttempts: 20, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Jitter: 0.2}
+	if d := p.Delay(1); d < 8*time.Millisecond || d > 12*time.Millisecond {
+		t.Errorf("Delay(1) = %v, want within ±20%% of 10ms", d)
+	}
+	for attempt := 1; attempt <= 30; attempt++ {
+		if d := p.Delay(attempt); d > 120*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, exceeds cap 100ms +20%% jitter", attempt, d)
+		}
+	}
+	// Zero jitter (expressed as negative) pins the schedule exactly.
+	exact := Policy{MaxAttempts: 20, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 100, 100}
+	for i, w := range want {
+		if d := exact.Delay(i + 1); d != w*time.Millisecond {
+			t.Errorf("jitterless Delay(%d) = %v, want %v", i+1, d, w*time.Millisecond)
+		}
+	}
+}
+
+// TestExhausted: the budget includes the first run; a <=1 budget never
+// retries.
+func TestExhausted(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	for attempts, want := range map[int]bool{0: false, 1: false, 2: false, 3: true, 4: true} {
+		if got := p.Exhausted(attempts); got != want {
+			t.Errorf("MaxAttempts=3 Exhausted(%d) = %v, want %v", attempts, got, want)
+		}
+	}
+	if !(Policy{}).Exhausted(1) {
+		t.Error("zero policy should exhaust after one attempt")
+	}
+}
+
+// TestIsRetryable: explicit marks win however wrapped; transient I/O
+// errnos and short writes are retryable; everything else is permanent.
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("spec parse error"), false},
+		{"marked retryable", Retryable(errors.New("x")), true},
+		{"marked permanent", Permanent(syscall.ENOSPC), false},
+		{"wrapped mark", fmt.Errorf("run: %w", Retryable(errors.New("x"))), true},
+		{"short write", fmt.Errorf("journal: %w", io.ErrShortWrite), true},
+		{"deadline", os.ErrDeadlineExceeded, true},
+		{"permission", fs.ErrPermission, false},
+		{"enospc", &fs.PathError{Op: "write", Path: "j", Err: syscall.ENOSPC}, true},
+		{"ebusy", syscall.EBUSY, true},
+		{"eio", fmt.Errorf("flush: %w", syscall.EIO), true},
+		{"enoent", syscall.ENOENT, false},
+		{"canceled", errors.New("context canceled"), false},
+	}
+	for _, tc := range cases {
+		if got := IsRetryable(tc.err); got != tc.want {
+			t.Errorf("IsRetryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMarksUnwrap: marked errors keep the underlying error reachable for
+// errors.Is, and nil stays nil.
+func TestMarksUnwrap(t *testing.T) {
+	base := syscall.ENOSPC
+	if !errors.Is(Retryable(base), syscall.ENOSPC) {
+		t.Error("Retryable hides the wrapped error from errors.Is")
+	}
+	if Retryable(nil) != nil || Permanent(nil) != nil {
+		t.Error("marking nil should stay nil")
+	}
+	// The innermost mark is overridden by an outer one (errors.As finds
+	// the outermost first).
+	double := Permanent(Retryable(base))
+	if IsRetryable(double) {
+		t.Error("outer Permanent mark should win over inner Retryable")
+	}
+}

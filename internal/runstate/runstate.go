@@ -28,8 +28,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"sync"
+	"syscall"
+
+	"repro/internal/faultject"
 )
 
 // ErrLocked marks the failure of Open when another open journal already
@@ -134,6 +138,9 @@ type Journal struct {
 	order    []Row
 	restored int
 	appended int
+	// damaged is set by any failed append: the on-disk tail may be torn,
+	// so further appends are refused until the journal is reopened.
+	damaged bool
 }
 
 // Open opens the journal at path, bound to the given configuration
@@ -207,20 +214,56 @@ func Open(path, fingerprint string, resume bool) (*Journal, error) {
 
 // append marshals rec and writes it as one line followed by fsync, so the
 // record is either fully durable or (on a crash mid-write) a torn tail
-// the next Open rounds away.
+// the next Open rounds away. Any append failure — real or injected —
+// damages the journal: the on-disk tail may be torn, so further appends
+// would land after garbage and be lost to the next Scan's round-down.
+// The journal refuses them; the caller must reopen (which truncates the
+// tail) to resume.
 func (j *Journal) append(rec record) error {
+	if j.damaged {
+		return fmt.Errorf("runstate: append after failed write; reopen the journal to resume")
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("runstate: %w", err)
 	}
 	b = append(b, '\n')
+	if faultject.Enabled() {
+		if f := faultject.Fire("runstate.append"); f != nil {
+			return j.injectAppendFault(f, b)
+		}
+	}
 	if _, err := j.f.Write(b); err != nil {
+		j.damaged = true
 		return fmt.Errorf("runstate: append: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
+		j.damaged = true
 		return fmt.Errorf("runstate: sync: %w", err)
 	}
 	return nil
+}
+
+// injectAppendFault realizes an armed faultject fault at the append
+// boundary: enospc fails before any byte lands, short/torn land half the
+// line (a torn tail the next Open rounds away), kill lands half the line
+// and then terminates the process — the crash the journal is built for.
+func (j *Journal) injectAppendFault(f *faultject.Fault, line []byte) error {
+	switch f.Kind {
+	case faultject.KindShortWrite, faultject.KindTornRename:
+		j.f.Write(line[:len(line)/2])
+		j.f.Sync()
+		j.damaged = true
+		return fmt.Errorf("runstate: append: %w (%v)", io.ErrShortWrite, f)
+	case faultject.KindKill:
+		j.f.Write(line[:len(line)/2])
+		j.f.Sync()
+		faultject.Kill()
+		return nil // unreachable
+	default: // KindENOSPC
+		j.damaged = true
+		return fmt.Errorf("runstate: append: %w (%v)", syscall.ENOSPC, f)
+	}
 }
 
 // Lookup reports whether key has a journaled row and, when it does,

@@ -9,6 +9,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"repro/internal/fsatomic"
 )
 
 // ManifestVersion is the shard-manifest format version. Any other version
@@ -157,26 +159,7 @@ func EnsureManifest(dir string, m Manifest) error {
 	default:
 		return err // corrupt manifest: fail closed, never overwrite evidence
 	}
-	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
-	if err != nil {
-		return fmt.Errorf("shard: %w", err)
-	}
-	if _, err := tmp.Write(want); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("shard: write manifest: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("shard: sync manifest: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("shard: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsatomic.WriteFileFP(filepath.Join(dir, ManifestName), want, "shard.manifest"); err != nil {
 		return fmt.Errorf("shard: install manifest: %w", err)
 	}
 	return nil

@@ -91,9 +91,38 @@ func (r *Rows) Record(key string, v any) error {
 // invariant returns an *IncompleteError naming the offending shards;
 // nothing is ever silently dropped or combined.
 func Load(dir string) (*Rows, error) {
-	m, err := ReadManifest(dir)
+	r, bad, err := load(dir)
 	if err != nil {
 		return nil, err
+	}
+	if len(bad) > 0 {
+		return nil, &IncompleteError{Dir: dir, Shards: r.manifest.Shards, Reasons: bad}
+	}
+	return r, nil
+}
+
+// LoadPartial opens a shard directory for a degraded merge: shards whose
+// journals are missing, torn below the header, misbound or internally
+// inconsistent are reported in the returned reasons map (and contribute
+// no rows) instead of refusing the whole merge. The manifest itself must
+// still verify — without it nothing binds the directory to a sweep, so
+// there is no safe degradation. A clean directory returns empty reasons.
+func LoadPartial(dir string) (*Rows, map[int]string, error) {
+	r, bad, err := load(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, bad, nil
+}
+
+// load reads every per-shard journal under the directory's manifest. A
+// shard that violates any merge invariant lands in the reasons map and
+// contributes no rows at all — a journal that mixes in foreign rows is
+// distrusted entirely, not salvaged up to the violation.
+func load(dir string) (*Rows, map[int]string, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, nil, err
 	}
 	r := &Rows{
 		manifest: m,
@@ -121,9 +150,15 @@ func Load(dir string) (*Rows, error) {
 			bad[i] = fmt.Sprintf("journal %s fingerprint %s, want %s (different workload or shard coordinates)", name, fp, want)
 			continue
 		}
+		staged := make([]runstate.Row, 0, len(rows))
+		stagedKeys := make(map[string]bool, len(rows))
 		for _, row := range rows {
 			if owner := Index(row.Key, m.Shards); owner != i {
 				bad[i] = fmt.Sprintf("journal %s holds row %q owned by shard %d — journals were mixed or renamed", name, row.Key, owner)
+				break
+			}
+			if stagedKeys[row.Key] {
+				bad[i] = fmt.Sprintf("journal %s holds row %q twice", name, row.Key)
 				break
 			}
 			if prev, dup := r.bySource[row.Key]; dup {
@@ -132,12 +167,16 @@ func Load(dir string) (*Rows, error) {
 				bad[i] = fmt.Sprintf("row %q journaled by shards %d and %d", row.Key, prev, i)
 				break
 			}
+			staged = append(staged, row)
+			stagedKeys[row.Key] = true
+		}
+		if _, isBad := bad[i]; isBad {
+			continue // distrust the whole journal, commit none of its rows
+		}
+		for _, row := range staged {
 			r.rows[row.Key] = row.Data
 			r.bySource[row.Key] = i
 		}
 	}
-	if len(bad) > 0 {
-		return nil, &IncompleteError{Dir: dir, Shards: m.Shards, Reasons: bad}
-	}
-	return r, nil
+	return r, bad, nil
 }
